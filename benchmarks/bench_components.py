@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the pipeline's hot components.
+
+Not a paper table — these keep the reproduction's own performance honest
+(variant enumeration, space construction, model evaluation throughput,
+functional interpretation) and catch regressions in the pure-Python parts.
+"""
+
+import numpy as np
+
+from repro.core.pipeline import compile_contraction
+from repro.gpusim.arch import GTX980
+from repro.gpusim.executor import execute_program
+from repro.gpusim.perfmodel import GPUPerformanceModel
+from repro.tcr.decision import decide_search_space
+from repro.tcr.codegen_cuda import generate_cuda_program
+from repro.tcr.space import TuningSpace
+from repro.util.rng import spawn_rng
+from repro.workloads import eqn1, lg3t, tce_ex
+
+
+def test_octopi_variant_enumeration(benchmark):
+    """15 trees + lowering + fusion analysis for Eqn.(1)."""
+    contraction = eqn1().contraction
+
+    def run():
+        return compile_contraction(contraction)
+
+    compiled = benchmark(run)
+    assert len(compiled.variants) == 15
+
+
+def test_search_space_construction(benchmark):
+    """Decision algorithm over Lg3t's three kernels."""
+    program = lg3t().program
+
+    def run():
+        return decide_search_space(program)
+
+    space = benchmark(run)
+    assert space.size() > 100_000
+
+
+def test_model_evaluation_throughput(benchmark):
+    """Objective evaluations per second (the autotuner's inner loop)."""
+    program = lg3t().program
+    model = GPUPerformanceModel(GTX980)
+    space = TuningSpace([decide_search_space(program)])
+    pool = space.sample_pool(256, spawn_rng(0, "bench-pool"))
+
+    def run():
+        total = 0.0
+        for config in pool:
+            try:
+                total += model.evaluate(program, config)
+            except Exception:
+                total += 10.0
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_pool_sampling(benchmark):
+    """Drawing a 2,500-point pool from a ~10^7-point space."""
+    space = TuningSpace([decide_search_space(lg3t().program)])
+
+    def run():
+        return space.sample_pool(2500, spawn_rng(1, "bench-sampling"))
+
+    pool = benchmark(run)
+    assert len(pool) == 2500
+
+
+def test_functional_interpreter(benchmark):
+    """Grid interpretation of a small tuned program (the testing oracle)."""
+    compiled = compile_contraction(eqn1(n=4).contraction)
+    program = compiled.minimal_flop_variants()[0].program
+    space = TuningSpace([decide_search_space(program)])
+    config = space.sample_pool(1, spawn_rng(2, "bench-exec"))[0]
+    inputs = program.random_inputs(0)
+
+    def run():
+        return execute_program(program, config, inputs)
+
+    out = benchmark(run)
+    reference = compiled.contraction.evaluate(inputs)
+    np.testing.assert_allclose(out["V"], reference, atol=1e-10)
+
+
+def test_cuda_codegen(benchmark):
+    """Emitting the full .cu translation unit for a tuned TCE ex variant."""
+    compiled = compile_contraction(tce_ex().contraction)
+    program = compiled.minimal_flop_variants()[0].program
+    space = TuningSpace([decide_search_space(program)])
+    config = space.sample_pool(1, spawn_rng(3, "bench-cuda"))[0]
+
+    def run():
+        return generate_cuda_program(program, config)
+
+    cuda = benchmark(run)
+    assert "__global__" in cuda

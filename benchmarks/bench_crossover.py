@@ -1,0 +1,67 @@
+"""Where the GPU starts paying: the batch-size crossover for Eqn.(1).
+
+Table II's one negative result — Eqn.(1) at 0.63x of a single core — is a
+statement about *where the crossover falls*: 60 kflops cannot amortize
+PCIe latency and kernel launches.  This bench sweeps the element batch
+count for Eqn.(1) (the spectral-element deployment the paper's intro
+motivates) and locates the batch size at which the tuned GPU version
+overtakes the sequential CPU end-to-end — reproducing the crossover's
+existence and its order of magnitude.
+"""
+
+from repro.autotune import Autotuner
+from repro.core.batching import batch_contraction
+from repro.gpusim.arch import GTX980
+from repro.gpusim.cpu import CPUPerformanceModel
+from repro.workloads.spectral import eqn1
+
+
+def test_eqn1_batch_crossover(benchmark, bench_budgets, report_sink):
+    base = eqn1().contraction
+    cpu = CPUPerformanceModel()
+
+    def run():
+        rows = []
+        for elements in (1, 4, 16, 64, 256, 1024):
+            c = base if elements == 1 else batch_contraction(base, "e", elements)
+            tuner = Autotuner(
+                GTX980,
+                max_evaluations=max(25, bench_budgets["evals"] // 2),
+                pool_size=bench_budgets["pool"] // 2,
+                seed=bench_budgets["seed"],
+            )
+            result = tuner.tune_contraction(c)
+            seq = cpu.sequential_timing(result.best_program)
+            rows.append(
+                {
+                    "elements": elements,
+                    "gpu_total_s": result.timing.total_s,
+                    "cpu_s": seq.total_s,
+                    "speedup": seq.total_s / result.timing.total_s,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Eqn.(1) batched over mesh elements (GTX 980, end-to-end):"]
+    for row in rows:
+        lines.append(
+            f"  E={row['elements']:>5}: GPU {row['gpu_total_s'] * 1e3:8.3f} ms, "
+            f"CPU {row['cpu_s'] * 1e3:8.3f} ms -> {row['speedup']:6.2f}x"
+        )
+
+    class _Report:
+        key = "crossover"
+        text = "\n".join(lines)
+
+    report_sink(_Report())
+
+    # Single element: CPU wins (the paper's 0.63x row).
+    assert rows[0]["speedup"] < 1.0
+    # Large batches: GPU wins decisively.
+    assert rows[-1]["speedup"] > 4.0
+    # The crossover exists inside the sweep and speedup grows monotonically
+    # enough to locate it (allow small non-monotonic wiggles from search).
+    crossed = [row["elements"] for row in rows if row["speedup"] > 1.0]
+    assert crossed, "no crossover found in the sweep"
+    assert crossed[0] <= 256, f"crossover unexpectedly late: {crossed[0]}"

@@ -1,0 +1,20 @@
+"""Table I: the benchmark inventory (and its structural sanity)."""
+
+from repro.reporting import table1_report
+from repro.workloads import get_workload, workload_names
+
+
+def test_table1(benchmark, report_sink):
+    report = benchmark.pedantic(table1_report, rounds=1, iterations=1)
+    report_sink(report)
+    assert len(report.data["rows"]) == 8
+
+
+def test_workload_construction_throughput(benchmark):
+    """Micro: building every Table I workload object."""
+
+    def build_all():
+        return [get_workload(name) for name in workload_names()]
+
+    workloads = benchmark(build_all)
+    assert len(workloads) == 31

@@ -1,0 +1,38 @@
+"""Table II: individual tensor contractions.
+
+Regenerates speedup-vs-sequential, per-GPU GFlops and SURF search time for
+Eqn.(1), Lg3, Lg3t and TCE ex, and asserts the paper's qualitative shape:
+
+* Eqn.(1) does not beat one Haswell core end-to-end (PCIe/launch bound);
+* the batched spectral kernels reach tens of GFlops on every generation,
+  >10x over sequential;
+* TCE ex runs much faster on the Maxwell part than on the older GPUs;
+* Eqn.(1)'s 15-variant search is by far the most expensive (paper: 3556 s
+  vs ~300 s).
+"""
+
+from repro.reporting import table2_report
+
+
+def test_table2(benchmark, bench_budgets, report_sink):
+    report = benchmark.pedantic(
+        lambda: table2_report(**bench_budgets), rounds=1, iterations=1
+    )
+    report_sink(report)
+    data = report.data
+
+    # Eqn.(1): the GPU loses end-to-end.
+    assert data["eqn1"]["speedup_e2e"] < 1.0
+    # Batched kernels: double-digit device GFlops everywhere, >10x speedup.
+    for name in ("lg3", "lg3t"):
+        assert data[name]["speedup_device"] > 10
+        for arch, (gflops, _search, _total) in data[name]["per_arch"].items():
+            assert gflops > 15, (name, arch)
+    # TCE ex: Maxwell well ahead of the older generations.
+    tce = data["tce_ex"]["per_arch"]
+    assert tce["GTX 980"][0] > 1.5 * tce["Tesla K20"][0]
+    # Search time: Eqn.(1) dominates (15 per-variant searches).
+    assert (
+        data["eqn1"]["per_arch"]["GTX 980"][1]
+        > 3 * data["lg3"]["per_arch"]["GTX 980"][1]
+    )

@@ -1,0 +1,30 @@
+"""Table IV: OpenMP (Haswell, 4 threads) vs Barracuda (GTX 980).
+
+Asserts the paper's headline: "the GTX 980 GPU outperforms a 4-thread
+OpenMP version on the Haswell in all cases for all benchmarks", with the
+memory-bound s1 family barely scaling under OpenMP.
+"""
+
+from repro.reporting import table4_report
+
+
+def test_table4(benchmark, bench_budgets, report_sink):
+    report = benchmark.pedantic(
+        lambda: table4_report(elements=512, **bench_budgets),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink(report)
+    data = report.data
+
+    for name, row in data.items():
+        assert row["barracuda"] > row["openmp"], name
+        assert row["openmp"] >= row["seq"] * 0.95, name
+    # s1 is bandwidth-bound on the CPU: OpenMP adds <2x.
+    assert data["s1"]["openmp"] < 2 * data["s1"]["seq"]
+    # The doubles kernels (dense FMA work, one contracted index) are the
+    # GPU's best case, far ahead of the store-bound s1 outer products.
+    # (The paper further separates d1=115 from d2=50; our model does not
+    # reproduce that split — see EXPERIMENTS.md.)
+    for family in ("d1", "d2"):
+        assert data[family]["barracuda"] > 2 * data["s1"]["barracuda"]

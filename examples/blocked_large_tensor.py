@@ -1,0 +1,48 @@
+"""Large tensors from tuned small blocks (the paper's scaling claim).
+
+Section II argues small-tensor contractions "provide a building block for
+computations with large tensors".  Here a 128x128 contraction is tiled
+into 16^3 blocks, the block kernel is autotuned once, and the whole
+problem runs as a grid of tuned kernels — verified functionally against
+the direct product and rated by the performance model.
+
+Run:  python examples/blocked_large_tensor.py
+"""
+
+import numpy as np
+
+from repro import Autotuner, GTX980
+from repro.apps.blocked import BlockedContraction
+
+
+def main() -> None:
+    blocked = BlockedContraction(block=16, blocks_per_mode=8)  # N = 128
+    print(f"N = {blocked.n}, block = {blocked.block}, "
+          f"{blocked.blocks_per_mode ** 3} block contractions")
+
+    # Functional check at a smaller size (the block loop is pure Python).
+    small = BlockedContraction(block=8, blocks_per_mode=4)
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((small.n, small.n))
+    b = rng.standard_normal((small.n, small.n))
+    assert np.allclose(small.contract(a, b), a @ b)
+    print("blocked evaluation verified against the direct product")
+
+    # Tune the block kernel once; reuse it across the grid.
+    tuner = Autotuner(GTX980, max_evaluations=60, pool_size=1200, seed=9)
+    tuned = blocked.tune_block_kernel(tuner)
+    print(f"\nblock kernel: {tuned.summary()}")
+    print(
+        f"whole problem: {blocked.total_flops() / 1e6:.0f} Mflops in "
+        f"{blocked.modeled_seconds(tuned) * 1e3:.2f} ms -> "
+        f"{blocked.modeled_gflops(tuned):.1f} GFlops"
+    )
+    print(
+        "\nNote the launch-overhead tax of running many small kernels: this\n"
+        "is why the paper's small-dimension focus needs batching or\n"
+        "device-resident block loops at scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Bring your own contraction: einsum in, tuned CUDA out.
+
+Shows the downstream-user path: define a contraction with an einsum spec
+(no DSL text needed), inspect strength reduction and fusion, verify every
+variant numerically, and tune across two GPU generations.
+
+Run:  python examples/custom_contraction.py
+"""
+
+import numpy as np
+
+from repro import Autotuner, C2050, GTX980, compile_contraction
+from repro.core.fusion import fusion_plan
+from repro.dsl.einsum import einsum_to_contraction
+from repro.dsl.printer import format_contraction
+
+
+def main() -> None:
+    # A CCSD-like ring term: out[a,i] = sum_{b,j} W[a,b] * T[b,j] * V[j,i]
+    contraction = einsum_to_contraction(
+        "ab,bj,ji->ai",
+        names=["W", "T", "V"],
+        dims=24,
+        output_name="R",
+        name="ring_term",
+    )
+    print("DSL form of the einsum input:")
+    print(format_contraction(contraction))
+
+    compiled = compile_contraction(contraction)
+    print(f"\n{len(compiled.variants)} algebraic variants:")
+    for variant in compiled.variants:
+        plan = fusion_plan(variant.program)
+        print(
+            f"  v{variant.index}: {variant.tree}  {variant.flops} flops, "
+            f"{variant.temp_elements} temp elements, fusion: {plan}"
+        )
+
+    # Every variant computes the same tensor (numerically checked):
+    inputs = contraction.random_inputs(seed=11)
+    reference = contraction.evaluate(inputs)
+    for variant in compiled.variants:
+        assert np.allclose(variant.program.evaluate(inputs), reference)
+    print("all variants verified against numpy.einsum")
+
+    for arch in (GTX980, C2050):
+        tuner = Autotuner(arch, max_evaluations=60, pool_size=1500, seed=5)
+        result = tuner.tune_contraction(contraction)
+        print(
+            f"\n{arch.name}: {result.timing.device_gflops:.2f} GFlops with "
+            f"variant v{result.best_config.variant_index} "
+            f"({result.best_config.describe()})"
+        )
+
+
+if __name__ == "__main__":
+    main()

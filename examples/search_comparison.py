@@ -1,0 +1,77 @@
+"""SURF vs random vs brute force on one tuning problem.
+
+Reproduces the Section V/VI argument: model-based search finds
+high-performing variants while examining a tiny fraction of the space, and
+matches a brute-force sweep of the same pool.  Prints the convergence
+curves as text.
+
+Run:  python examples/search_comparison.py
+"""
+
+from repro import GPUPerformanceModel, GTX980
+from repro.surf import (
+    ConfigurationEvaluator,
+    ExhaustiveSearch,
+    RandomSearch,
+    SURFSearch,
+)
+from repro.tcr.decision import decide_search_space
+from repro.tcr.space import TuningSpace
+from repro.util.rng import spawn_rng
+from repro.workloads import lg3t
+
+
+def sparkline(values, width=60) -> str:
+    ramp = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = max(1, len(values) // width)
+    cells = [values[i] for i in range(0, len(values), step)]
+    return "".join(ramp[int((v - lo) / span * (len(ramp) - 1))] for v in cells)
+
+
+def main() -> None:
+    workload = lg3t()
+    program = workload.program
+    space = TuningSpace([decide_search_space(program)])
+    print(f"{workload.name}: tuning space of {space.size():,} configurations")
+
+    pool = space.sample_pool(1500, spawn_rng(3, "example-pool"))
+    model = GPUPerformanceModel(GTX980)
+    print(f"shared pool: {len(pool)} configurations\n")
+
+    searchers = [
+        SURFSearch(batch_size=10, max_evaluations=100, seed=3),
+        RandomSearch(batch_size=10, max_evaluations=100, seed=3),
+        ExhaustiveSearch(batch_size=50),
+    ]
+    results = {}
+    for searcher in searchers:
+        evaluator = ConfigurationEvaluator([program], model, seed=3)
+        result = searcher.search(
+            pool, evaluator.evaluate_batch,
+            wall_seconds=lambda ev=evaluator: ev.simulated_wall_seconds,
+        )
+        results[searcher.name] = result
+        gflops = program.flops() / result.best_objective / 1e9
+        print(
+            f"{searcher.name:>10}: best {result.best_objective * 1e3:7.3f} ms "
+            f"({gflops:5.1f} GFlops incl. transfer) after {result.evaluations:4d} "
+            f"evaluations, ~{result.simulated_wall_seconds / 60:6.1f} simulated min"
+        )
+
+    print("\nconvergence (best-so-far, high=slow, low=fast):")
+    for name in ("surf", "random"):
+        curve = results[name].best_so_far()
+        print(f"  {name:>7}: {sparkline(curve)}")
+    surf = results["surf"].best_objective
+    brute = results["exhaustive"].best_objective
+    print(
+        f"\nSURF is within {(surf / brute - 1) * 100:.2f}% of brute force while "
+        f"evaluating {results['surf'].evaluations / results['exhaustive'].evaluations:.0%} "
+        "of the pool — the paper's '100 evaluations vs 23 days' argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim enabling legacy editable installs in offline environments
+(the sandbox has no `wheel` package, so PEP-660 editable wheels are not
+buildable; `pip install -e .` falls back to `setup.py develop` through this
+file)."""
+
+from setuptools import setup
+
+setup()

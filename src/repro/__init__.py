@@ -1,0 +1,87 @@
+"""Barracuda-repro: tensor-contraction autotuning for GPUs, reproduced.
+
+A faithful Python reproduction of *Generating Efficient Tensor Contractions
+for GPUs* (Nelson, Rivera, Balaprakash, Hall, Hovland, Jessup, Norris —
+ICPP 2015): the OCTOPI tensor DSL and strength-reduction optimizer, the TCR
+intermediate representation and GPU decision algorithm, the SURF
+model-based search, and — in place of the paper's Fermi/Kepler/Maxwell
+testbed — a calibrated GPU simulator with CPU/OpenMP/OpenACC baselines.
+
+Quickstart::
+
+    from repro import parse_contraction, Autotuner, GTX980
+
+    c = parse_contraction('''
+        dim i j k l m n = 10
+        V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+    ''')
+    result = Autotuner(GTX980).tune_contraction(c)
+    print(result.summary())
+"""
+
+from repro.errors import (
+    ReproError,
+    DSLError,
+    ContractionError,
+    TCRError,
+    SearchError,
+    WorkloadError,
+)
+from repro.dsl import parse_program, parse_contraction, format_contraction
+from repro.core.contraction import Contraction
+from repro.core.tensor import TensorRef
+from repro.core.pipeline import compile_dsl, compile_contraction, CompiledContraction
+from repro.core.variants import Variant
+from repro.tcr.program import TCRProgram, TCROperation
+from repro.tcr.decision import decide_search_space
+from repro.tcr.space import TuningSpace, ProgramConfig, KernelConfig
+from repro.gpusim.arch import GTX980, K20, C2050, HASWELL, gpu_by_name
+from repro.gpusim.perfmodel import GPUPerformanceModel
+from repro.gpusim.cpu import CPUPerformanceModel
+from repro.gpusim.openacc import OpenACCModel
+from repro.surf import SURFSearch, RandomSearch, ExhaustiveSearch, ExtraTreesRegressor
+from repro.autotune import Autotuner, TuneResult
+from repro.workloads import get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "DSLError",
+    "ContractionError",
+    "TCRError",
+    "SearchError",
+    "WorkloadError",
+    "parse_program",
+    "parse_contraction",
+    "format_contraction",
+    "Contraction",
+    "TensorRef",
+    "compile_dsl",
+    "compile_contraction",
+    "CompiledContraction",
+    "Variant",
+    "TCRProgram",
+    "TCROperation",
+    "decide_search_space",
+    "TuningSpace",
+    "ProgramConfig",
+    "KernelConfig",
+    "GTX980",
+    "K20",
+    "C2050",
+    "HASWELL",
+    "gpu_by_name",
+    "GPUPerformanceModel",
+    "CPUPerformanceModel",
+    "OpenACCModel",
+    "SURFSearch",
+    "RandomSearch",
+    "ExhaustiveSearch",
+    "ExtraTreesRegressor",
+    "Autotuner",
+    "TuneResult",
+    "get_workload",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Application-level drivers: the Nekbone CG mini-app and the NWChem
+CCSD(T)-triples-style driver (Table I's application rows)."""
+
+from repro.apps.nekbone import (
+    NekboneProblem,
+    NekbonePerformance,
+    cg_solve,
+    gll_points_weights,
+    derivative_matrix,
+)
+from repro.apps.nwchem_driver import TriplesDriver
+
+__all__ = [
+    "NekboneProblem",
+    "NekbonePerformance",
+    "cg_solve",
+    "gll_points_weights",
+    "derivative_matrix",
+    "TriplesDriver",
+]

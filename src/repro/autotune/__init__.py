@@ -1,0 +1,5 @@
+"""End-to-end autotuning: OCTOPI → TCR → SURF → best configuration."""
+
+from repro.autotune.tuner import Autotuner, TuneResult
+
+__all__ = ["Autotuner", "TuneResult"]

@@ -1,0 +1,251 @@
+"""Command-line interface: ``python -m repro`` / ``barracuda``.
+
+Subcommands
+-----------
+``tune``      autotune a named workload or a DSL file for a GPU
+``variants``  show OCTOPI's strength-reduction variants for a DSL input
+``codegen``   emit the Orio annotation / CUDA source for a tuned workload
+``report``    regenerate the paper's tables and figures
+``list``      list known workloads and architectures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.autotune import Autotuner
+from repro.core.pipeline import compile_contraction, compile_dsl
+from repro.dsl.parser import parse_contraction
+from repro.errors import ReproError
+from repro.gpusim.arch import ALL_GPUS, gpu_by_name
+from repro.workloads import get_workload, workload_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="barracuda",
+        description="Barracuda tensor-contraction autotuner (ICPP 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tune = sub.add_parser("tune", help="autotune a workload for a GPU")
+    tune.add_argument("workload", help="workload name (see `list`) or a DSL file path")
+    tune.add_argument("--arch", default="gtx980", help="gtx980 | k20 | c2050")
+    tune.add_argument("--evals", type=int, default=100, help="SURF evaluation budget")
+    tune.add_argument("--batch", type=int, default=10, help="SURF batch size")
+    tune.add_argument("--pool", type=int, default=2500, help="configuration pool size")
+    tune.add_argument("--seed", type=int, default=1)
+    tune.add_argument(
+        "--searcher", default="surf", choices=("surf", "random", "exhaustive")
+    )
+    tune.add_argument(
+        "--per-variant", action="store_true",
+        help="autotune each OCTOPI variant separately (the paper's flow)",
+    )
+
+    variants = sub.add_parser("variants", help="show OCTOPI variants for a DSL input")
+    variants.add_argument("dsl", help="DSL file path or inline statement")
+    variants.add_argument("--default-dim", type=int, default=None)
+
+    codegen = sub.add_parser("codegen", help="emit Orio annotation / CUDA for a workload")
+    codegen.add_argument("workload")
+    codegen.add_argument("--arch", default="gtx980")
+    codegen.add_argument("--kind", choices=("orio", "cuda", "c", "tcr"), default="cuda")
+    codegen.add_argument("--evals", type=int, default=60)
+    codegen.add_argument("--pool", type=int, default=1500)
+    codegen.add_argument("--seed", type=int, default=1)
+
+    roofline = sub.add_parser(
+        "roofline", help="tune a workload and explain what binds each kernel"
+    )
+    roofline.add_argument("workload")
+    roofline.add_argument("--arch", default="gtx980")
+    roofline.add_argument("--evals", type=int, default=60)
+    roofline.add_argument("--pool", type=int, default=1500)
+    roofline.add_argument("--seed", type=int, default=1)
+
+    report = sub.add_parser("report", help="regenerate the paper's tables/figures")
+    report.add_argument(
+        "experiment",
+        choices=("table1", "table2", "table3", "table4", "figure3", "intext", "all"),
+    )
+    report.add_argument("--evals", type=int, default=100)
+    report.add_argument("--pool", type=int, default=2500)
+    report.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list", help="list workloads and architectures")
+    return parser
+
+
+def _load_workload(spec: str):
+    if spec in workload_names():
+        return get_workload(spec)
+    try:
+        with open(spec, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ReproError(
+            f"{spec!r} is neither a known workload nor a readable DSL file: {exc}"
+        ) from None
+    from repro.workloads.base import Workload
+
+    return Workload(
+        name=spec, description="user DSL input", contraction=parse_contraction(text, name="user")
+    )
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    workload = _load_workload(args.workload)
+    tuner = Autotuner(
+        gpu_by_name(args.arch),
+        searcher=args.searcher,
+        max_evaluations=args.evals,
+        batch_size=args.batch,
+        pool_size=args.pool,
+        seed=args.seed,
+        per_variant=args.per_variant,
+    )
+    result = workload.tune(tuner)
+    print(result.summary())
+    print(f"device rate (kernels only): {result.timing.device_gflops:.2f} GFlops")
+    print(f"best configuration: {result.best_config.describe()}")
+    print("TCR program of the winning variant:")
+    print(result.best_program.to_text())
+    return 0
+
+
+def _cmd_variants(args: argparse.Namespace) -> int:
+    spec = args.dsl
+    try:
+        with open(spec, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        text = spec
+    for compiled in compile_dsl(text, default_dim=args.default_dim, name="input"):
+        print(f"# {compiled.contraction}")
+        print(
+            f"# {len(compiled.variants)} variants, "
+            f"{len(compiled.minimal_flop_variants())} with minimal flops "
+            f"({compiled.min_flops})"
+        )
+        for variant in compiled.variants:
+            print(variant)
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.tcr.codegen_c import generate_c
+    from repro.tcr.codegen_cuda import generate_cuda_program
+    from repro.tcr.decision import decide_search_space
+    from repro.tcr.orio import emit_orio_annotation
+
+    workload = _load_workload(args.workload)
+    if workload.kind == "contraction":
+        program = compile_contraction(workload.contraction).minimal_flop_variants()[0].program
+    else:
+        program = workload.program
+    if args.kind == "tcr":
+        print(program.to_text())
+        return 0
+    if args.kind == "c":
+        print(generate_c(program))
+        return 0
+    space = decide_search_space(program)
+    if args.kind == "orio":
+        print(emit_orio_annotation(space))
+        return 0
+    tuner = Autotuner(
+        gpu_by_name(args.arch),
+        max_evaluations=args.evals,
+        pool_size=args.pool,
+        seed=args.seed,
+    )
+    result = tuner.tune_program(program)
+    print(generate_cuda_program(program, result.best_config))
+    return 0
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    from repro.gpusim.perfmodel import GPUPerformanceModel
+    from repro.gpusim.roofline import analyze_program
+
+    workload = _load_workload(args.workload)
+    arch = gpu_by_name(args.arch)
+    tuner = Autotuner(
+        arch, max_evaluations=args.evals, pool_size=args.pool, seed=args.seed
+    )
+    result = workload.tune(tuner)
+    print(result.summary())
+    model = GPUPerformanceModel(arch)
+    for i, point in enumerate(
+        analyze_program(model, result.best_program, result.best_config)
+    ):
+        op = result.best_program.operations[i]
+        print(f"k{i} [{op}]")
+        print(f"   {point.describe()}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.reporting import (
+        figure3_report,
+        intext_report,
+        table1_report,
+        table2_report,
+        table3_report,
+        table4_report,
+    )
+
+    kw = {"evals": args.evals, "pool": args.pool, "seed": args.seed}
+    producers = {
+        "table1": lambda: table1_report(),
+        "table2": lambda: table2_report(**kw),
+        "table3": lambda: table3_report(**kw),
+        "table4": lambda: table4_report(**kw),
+        "figure3": lambda: figure3_report(**kw),
+        "intext": lambda: intext_report(**kw),
+    }
+    keys = list(producers) if args.experiment == "all" else [args.experiment]
+    for key in keys:
+        print(producers[key]().text)
+        print()
+    return 0
+
+
+def _cmd_list() -> int:
+    print("workloads:")
+    for name in workload_names():
+        print(f"  {name}")
+    print("applications: nekbone (see repro.apps.nekbone)")
+    print("architectures:")
+    for arch in ALL_GPUS:
+        print(f"  {arch.name} ({arch.generation}), peak {arch.peak_dp_gflops:.0f} DP GFlops")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "tune":
+            return _cmd_tune(args)
+        if args.command == "variants":
+            return _cmd_variants(args)
+        if args.command == "codegen":
+            return _cmd_codegen(args)
+        if args.command == "roofline":
+            return _cmd_roofline(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "list":
+            return _cmd_list()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""OCTOPI core: tensor-contraction IR and high-level transformations.
+
+This subpackage is the paper's "stage 1": it holds the mathematical
+representation of a contraction (:class:`~repro.core.contraction.Contraction`),
+Algorithm 1's strength-reduction enumeration
+(:mod:`repro.core.strength_reduction`), operation counting
+(:mod:`repro.core.opcount`), loop fusion (:mod:`repro.core.fusion`), and the
+lowering of each algebraic variant to a TCR program
+(:mod:`repro.core.variants`).
+"""
+
+from repro.core.tensor import TensorRef
+from repro.core.contraction import Contraction
+from repro.core.expr_tree import ContractionTree, Leaf, Node
+from repro.core.strength_reduction import enumerate_trees, double_factorial
+from repro.core.opcount import tree_operation_count, program_operation_count
+from repro.core.variants import lower_tree_to_tcr, generate_variants
+from repro.core.pipeline import compile_dsl
+
+__all__ = [
+    "TensorRef",
+    "Contraction",
+    "ContractionTree",
+    "Leaf",
+    "Node",
+    "enumerate_trees",
+    "double_factorial",
+    "tree_operation_count",
+    "program_operation_count",
+    "lower_tree_to_tcr",
+    "generate_variants",
+    "compile_dsl",
+]

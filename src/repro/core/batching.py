@@ -1,0 +1,92 @@
+"""Batching a contraction over many identical small tensors.
+
+The paper targets "computations over thousands of identically-sized small
+tensors … they occur naturally in the spectral element method and provide
+a building block for computations with large tensors".  Eqn.(1) standalone
+is the cautionary tale (60 kflops cannot amortize PCIe/launch costs);
+batching it across mesh elements is what makes the GPU worthwhile.
+
+:func:`batch_contraction` adds an element index to a contraction: the
+output and the *varying* terms (the per-element data) gain the new index;
+the remaining terms (shared operator matrices, like the interpolation
+matrices A/B/C of Eqn.(1)) stay element-invariant.  The result is an
+ordinary :class:`~repro.core.contraction.Contraction`, so the whole
+pipeline — strength reduction, decision algorithm, SURF — applies
+unchanged, and the element loop simply becomes one more parallel index for
+the grid to consume.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.contraction import Contraction
+from repro.core.indices import check_index_name
+from repro.core.tensor import TensorRef
+from repro.errors import ContractionError
+
+__all__ = ["batch_contraction"]
+
+
+def batch_contraction(
+    contraction: Contraction,
+    index: str = "e",
+    size: int = 512,
+    varying: Sequence[str] | None = None,
+) -> Contraction:
+    """Return ``contraction`` batched over a new leading index.
+
+    Parameters
+    ----------
+    contraction:
+        The per-element computation.
+    index:
+        Name of the new element index (must not already appear).
+    size:
+        Number of elements in the batch.
+    varying:
+        Names of the input tensors that differ per element.  Defaults to
+        the terms of maximal rank (the "field" data), which matches the
+        spectral-element pattern where small operator matrices are shared.
+        The output always varies.
+    """
+    check_index_name(index)
+    if index in contraction.all_indices:
+        raise ContractionError(
+            f"index {index!r} already appears in {contraction.name}"
+        )
+    if size < 1:
+        raise ContractionError("batch size must be positive")
+    if varying is None:
+        max_rank = max(t.rank for t in contraction.terms)
+        varying_set = {t.name for t in contraction.terms if t.rank == max_rank}
+    else:
+        varying_set = set(varying)
+        known = {t.name for t in contraction.terms}
+        unknown = varying_set - known
+        if unknown:
+            raise ContractionError(
+                f"varying names {sorted(unknown)} are not terms of "
+                f"{contraction.name}"
+            )
+        if not varying_set:
+            raise ContractionError(
+                "at least one term must vary per element (otherwise the "
+                "batch dimension broadcasts, which is not a contraction)"
+            )
+
+    terms = tuple(
+        TensorRef(t.name, (index,) + t.indices) if t.name in varying_set else t
+        for t in contraction.terms
+    )
+    output = TensorRef(
+        contraction.output.name, (index,) + contraction.output.indices
+    )
+    dims = dict(contraction.dims)
+    dims[index] = size
+    return Contraction(
+        output=output,
+        terms=terms,
+        dims=dims,
+        name=f"{contraction.name}_x{size}",
+    )

@@ -1,0 +1,227 @@
+"""The core mathematical object: a multi-term tensor contraction.
+
+A :class:`Contraction` is the semantic content of one OCTOPI statement
+
+.. code-block:: text
+
+    V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+
+— an output tensor, a product of input terms, the index extents, and the
+derived classification of indices into *output* (appear on the LHS) and
+*summation* (appear only on the RHS, implicitly summed per the Einstein
+convention the paper uses).
+
+It also knows how to evaluate itself with :func:`numpy.einsum`, which is the
+ground truth every transformed variant is verified against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.indices import check_dims, ordered_unique, iteration_space_size
+from repro.core.tensor import TensorRef
+from repro.errors import ContractionError
+
+__all__ = ["Contraction"]
+
+
+@dataclass(frozen=True)
+class Contraction:
+    """A single contraction statement ``output = sum over product of terms``.
+
+    Attributes
+    ----------
+    output:
+        LHS tensor reference.
+    terms:
+        RHS factors, in source order.
+    dims:
+        Extent of every index appearing anywhere in the statement.
+    name:
+        Optional label (benchmark/kernel name) used in reports.
+    """
+
+    output: TensorRef
+    terms: tuple[TensorRef, ...]
+    dims: Mapping[str, int] = field(default_factory=dict)
+    name: str = "contraction"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.terms, tuple):
+            object.__setattr__(self, "terms", tuple(self.terms))
+        if not self.terms:
+            raise ContractionError("a contraction needs at least one RHS term")
+        rhs_indices = set()
+        for term in self.terms:
+            rhs_indices |= term.index_set
+        missing = set(self.output.indices) - rhs_indices
+        if missing:
+            raise ContractionError(
+                f"output indices {sorted(missing)} never appear on the RHS of "
+                f"{self.name}: the result would be a broadcast, not a contraction"
+            )
+        object.__setattr__(
+            self, "dims", dict(check_dims(self.dims, rhs_indices | set(self.output.indices)))
+        )
+
+    # ------------------------------------------------------------------
+    # Index classification
+    # ------------------------------------------------------------------
+    @property
+    def all_indices(self) -> tuple[str, ...]:
+        """Every index, output indices first then summation, source order."""
+        return ordered_unique(
+            tuple(self.output.indices)
+            + tuple(i for t in self.terms for i in t.indices)
+        )
+
+    @property
+    def output_indices(self) -> tuple[str, ...]:
+        """Indices of the LHS (the parallel loops, per the paper's analysis)."""
+        return self.output.indices
+
+    @property
+    def summation_indices(self) -> tuple[str, ...]:
+        """Indices appearing on the RHS only (implicitly summed)."""
+        out = set(self.output.indices)
+        return ordered_unique(
+            i for t in self.terms for i in t.indices if i not in out
+        )
+
+    # ------------------------------------------------------------------
+    # Sizes and costs
+    # ------------------------------------------------------------------
+    def iteration_space(self) -> int:
+        """Size of the full (naive) iteration space: product of all extents."""
+        return iteration_space_size(self.all_indices, self.dims)
+
+    def naive_flops(self) -> int:
+        """Flops of the naive nested-loop implementation.
+
+        Each innermost iteration performs ``len(terms)-1`` multiplies and one
+        add into the accumulator — ``len(terms)`` flops for multi-term
+        products, 2 for a single binary contraction with accumulation, and
+        1 multiply-only when there is nothing to sum.
+        """
+        per_point = len(self.terms)  # (terms-1) muls + 1 add
+        if not self.summation_indices and len(self.terms) == 1:
+            per_point = 1  # pure copy/scale has no add
+        return self.iteration_space() * per_point
+
+    def output_size(self) -> int:
+        return self.output.size(self.dims)
+
+    def input_elements(self) -> int:
+        """Total elements across distinct input tensors (transfer footprint)."""
+        seen: dict[str, int] = {}
+        for term in self.terms:
+            seen.setdefault(term.name, term.size(self.dims))
+        return sum(seen.values())
+
+    # ------------------------------------------------------------------
+    # Evaluation (ground truth)
+    # ------------------------------------------------------------------
+    def einsum_spec(self) -> str:
+        """The :func:`numpy.einsum` subscript string for this contraction."""
+        letters = self._index_letters()
+        ins = ",".join("".join(letters[i] for i in t.indices) for t in self.terms)
+        out = "".join(letters[i] for i in self.output.indices)
+        return f"{ins}->{out}"
+
+    def _index_letters(self) -> dict[str, str]:
+        alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        indices = self.all_indices
+        if len(indices) > len(alphabet):
+            raise ContractionError("too many distinct indices for einsum lowering")
+        return {idx: alphabet[n] for n, idx in enumerate(indices)}
+
+    def evaluate(self, inputs: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Evaluate via ``np.einsum`` on the provided input arrays.
+
+        Raises :class:`ContractionError` if an input is missing or its shape
+        disagrees with the declared extents.
+        """
+        operands = []
+        for term in self.terms:
+            if term.name not in inputs:
+                raise ContractionError(f"missing input tensor {term.name!r}")
+            arr = np.asarray(inputs[term.name])
+            want = term.shape(self.dims)
+            if arr.shape != want:
+                raise ContractionError(
+                    f"input {term.name!r} has shape {arr.shape}, expected {want}"
+                )
+            operands.append(arr)
+        return np.einsum(self.einsum_spec(), *operands)
+
+    def random_inputs(
+        self, seed: int = 0, dtype: np.dtype | type = np.float64
+    ) -> dict[str, np.ndarray]:
+        """Generate deterministic random inputs matching the declared shapes."""
+        rng = np.random.default_rng(seed)
+        out: dict[str, np.ndarray] = {}
+        for term in self.terms:
+            if term.name not in out:
+                out[term.name] = rng.standard_normal(term.shape(self.dims)).astype(dtype)
+        return out
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def rename(self, mapping: Mapping[str, str]) -> "Contraction":
+        """Rename indices everywhere (used to avoid temp-name collisions)."""
+        new_dims = {mapping.get(k, k): v for k, v in self.dims.items()}
+        return Contraction(
+            output=self.output.rename(mapping),
+            terms=tuple(t.rename(mapping) for t in self.terms),
+            dims=new_dims,
+            name=self.name,
+        )
+
+    def __str__(self) -> str:
+        rhs = " * ".join(str(t) for t in self.terms)
+        s = self.summation_indices
+        if s:
+            return f"{self.output} = Sum([{' '.join(s)}], {rhs})"
+        return f"{self.output} = {rhs}"
+
+    @staticmethod
+    def from_einsum(
+        spec: str,
+        names: Sequence[str],
+        dims: Mapping[str, int] | int,
+        output_name: str = "out",
+        name: str = "contraction",
+    ) -> "Contraction":
+        """Build a contraction from an einsum spec like ``"lk,mj,ni,lmn->ijk"``.
+
+        ``dims`` may be an int (uniform extent) or a per-index mapping keyed
+        by the subscript letters.
+        """
+        spec = spec.replace(" ", "")
+        if "->" not in spec:
+            raise ContractionError("einsum spec must be explicit (contain '->')")
+        lhs, _, out = spec.partition("->")
+        subscripts = lhs.split(",")
+        if len(subscripts) != len(names):
+            raise ContractionError(
+                f"{len(subscripts)} operands in spec but {len(names)} names given"
+            )
+        all_letters = ordered_unique("".join(subscripts) + out)
+        if isinstance(dims, int):
+            dim_map = {c: dims for c in all_letters}
+        else:
+            dim_map = {c: dims[c] for c in all_letters}
+        terms = tuple(
+            TensorRef(nm, tuple(sub)) for nm, sub in zip(names, subscripts)
+        )
+        return Contraction(
+            output=TensorRef(output_name, tuple(out)),
+            terms=terms,
+            dims=dim_map,
+            name=name,
+        )

@@ -1,0 +1,167 @@
+"""Binary contraction trees.
+
+Algorithm 1 in the paper enumerates reorderings of the multiplication terms
+using commutativity and associativity, creating intermediate temporaries.
+Every such reordering is exactly a *full binary tree* whose leaves are the
+original terms; each internal node is a binary contraction producing a
+temporary, and every summation index is reduced at the lowest node above
+which it no longer appears (the paper's "index occurring only in one term"
+rule, applied eagerly).
+
+This module defines the tree data type and the per-node index analysis; the
+enumeration itself lives in :mod:`repro.core.strength_reduction` and the
+lowering to TCR in :mod:`repro.core.variants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.core.contraction import Contraction
+from repro.core.indices import ordered_unique
+from repro.errors import ContractionError
+
+__all__ = ["Leaf", "Node", "ContractionTree"]
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A tree leaf: the position of one RHS term in the source contraction."""
+
+    term: int
+
+    @property
+    def leaves(self) -> frozenset[int]:
+        return frozenset({self.term})
+
+    def canonical(self) -> "Leaf":
+        return self
+
+    def __str__(self) -> str:
+        return f"t{self.term}"
+
+
+@dataclass(frozen=True)
+class Node:
+    """An internal node: contract the results of two subtrees."""
+
+    left: "Leaf | Node"
+    right: "Leaf | Node"
+
+    @cached_property
+    def leaves(self) -> frozenset[int]:
+        overlap = self.left.leaves & self.right.leaves
+        if overlap:
+            raise ContractionError(f"tree reuses terms {sorted(overlap)}")
+        return self.left.leaves | self.right.leaves
+
+    def canonical(self) -> "Node":
+        """Order-normalize children so commutatively-equal trees compare equal."""
+        left = self.left.canonical()
+        right = self.right.canonical()
+        if min(right.leaves) < min(left.leaves):
+            left, right = right, left
+        return Node(left, right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.right})"
+
+
+@dataclass(frozen=True)
+class ContractionTree:
+    """A full binary contraction tree bound to a specific contraction.
+
+    Provides the per-node index analysis needed by both the cost model and
+    the TCR lowering:
+
+    * ``result_indices(node)`` — the indices a node's value carries, i.e.
+      the indices present inside the subtree that are still needed outside
+      it (either by another term or by the final output).  Order follows
+      left-child-then-right-child appearance, matching the paper's
+      temporaries (``temp1:(i,l,m) += C:(n,i)*U:(l,m,n)``).
+    * ``summed_at(node)`` — the indices reduced when this node is evaluated.
+    """
+
+    contraction: Contraction
+    root: Leaf | Node
+
+    def __post_init__(self) -> None:
+        nterms = len(self.contraction.terms)
+        if self.root.leaves != frozenset(range(nterms)):
+            raise ContractionError(
+                f"tree covers terms {sorted(self.root.leaves)} but the "
+                f"contraction has {nterms} terms"
+            )
+
+    # ------------------------------------------------------------------
+    def subtree_indices(self, node: Leaf | Node) -> tuple[str, ...]:
+        """All indices appearing anywhere inside ``node``'s subtree."""
+        if isinstance(node, Leaf):
+            return self.contraction.terms[node.term].indices
+        return ordered_unique(
+            self.subtree_indices(node.left) + self.subtree_indices(node.right)
+        )
+
+    def result_indices(self, node: Leaf | Node) -> tuple[str, ...]:
+        """Indices carried by ``node``'s value after eager summation."""
+        if node is self.root or (
+            isinstance(node, (Leaf, Node)) and node.leaves == self.root.leaves
+        ):
+            return self.contraction.output.indices
+        inside = set(node.leaves)
+        outside_indices: set[str] = set(self.contraction.output.indices)
+        for t, term in enumerate(self.contraction.terms):
+            if t not in inside:
+                outside_indices |= term.index_set
+        return tuple(
+            i for i in self.subtree_indices(node) if i in outside_indices
+        )
+
+    def summed_at(self, node: Leaf | Node) -> tuple[str, ...]:
+        """Indices reduced when evaluating ``node`` (empty for most leaves)."""
+        kept = set(self.result_indices(node))
+        if isinstance(node, Leaf):
+            inner = self.contraction.terms[node.term].indices
+        else:
+            inner = ordered_unique(
+                self.result_indices(node.left) + self.result_indices(node.right)
+            )
+        return tuple(i for i in inner if i not in kept)
+
+    def internal_nodes(self) -> list[Node]:
+        """Internal nodes in bottom-up (children before parents) order."""
+        out: list[Node] = []
+
+        def visit(node: Leaf | Node) -> None:
+            if isinstance(node, Node):
+                visit(node.left)
+                visit(node.right)
+                out.append(node)
+
+        visit(self.root)
+        return out
+
+    def reducing_leaves(self) -> list[Leaf]:
+        """Leaves that need a unary pre-reduction (index unique to one term)."""
+        return [
+            leaf
+            for leaf in self._all_leaves()
+            if self.summed_at(leaf)
+        ]
+
+    def _all_leaves(self) -> list[Leaf]:
+        out: list[Leaf] = []
+
+        def visit(node: Leaf | Node) -> None:
+            if isinstance(node, Leaf):
+                out.append(node)
+            else:
+                visit(node.left)
+                visit(node.right)
+
+        visit(self.root)
+        return out
+
+    def __str__(self) -> str:
+        return str(self.root)

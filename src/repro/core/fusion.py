@@ -1,0 +1,179 @@
+"""Loop fusion analysis over TCR operation sequences (Section III).
+
+After strength reduction, OCTOPI fuses the resulting loop nests where
+possible: consecutive producer/consumer operations can share outer loops,
+shrinking each temporary to the slice live at one shared-loop point (in the
+best case a register scalar) and cutting its global-memory traffic.
+
+Legality (domain-specific, as everything in TCR): a set of loops ``S`` can
+be shared by a producer ``P`` and a consumer ``C`` iff
+
+* every index in ``S`` occurs in both operations' iteration spaces, and
+* ``S`` is a subset of ``P``'s output indices — so at each point of ``S``
+  the produced slice of the temporary is complete before ``C`` reads it
+  (the consumer reads the temporary with the same index bindings, which the
+  TCR IR guarantees by construction).
+
+The analysis is greedy and deterministic: it grows maximal fusion groups
+left-to-right, keeping the running intersection of iteration spaces as the
+shared loop set, exactly like the hand fusion shown for the paper's
+Eqn.(1) example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.indices import iteration_space_size, ordered_unique
+from repro.tcr.program import TCROperation, TCRProgram
+
+__all__ = ["FusionGroup", "FusionPlan", "fusion_plan"]
+
+
+@dataclass(frozen=True)
+class FusionGroup:
+    """A run of consecutive operations sharing the ``shared`` outer loops."""
+
+    start: int
+    stop: int  # exclusive, like range()
+    shared: tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def __str__(self) -> str:
+        loops = ",".join(self.shared) if self.shared else "-"
+        return f"ops[{self.start}:{self.stop}] @ ({loops})"
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """The fusion decision for a whole TCR program."""
+
+    program: TCRProgram
+    groups: tuple[FusionGroup, ...]
+
+    def group_of(self, op_index: int) -> FusionGroup:
+        for group in self.groups:
+            if group.start <= op_index < group.stop:
+                return group
+        raise IndexError(f"operation {op_index} outside program")
+
+    def fused_pairs(self) -> int:
+        """Number of producer/consumer edges actually fused."""
+        return sum(g.size - 1 for g in self.groups)
+
+    # ------------------------------------------------------------------
+    # Memory effects (consumed by the CPU model and reports)
+    # ------------------------------------------------------------------
+    def temp_storage_elements(self) -> int:
+        """Storage for temporaries after fusion.
+
+        A temporary produced and consumed inside one group only materializes
+        the slice indexed by its non-shared indices; others stay full size.
+        """
+        total = 0
+        for t, name in self._temp_defs():
+            group = self.group_of(t)
+            consumer = self._consumer_of(name, t)
+            layout = self.program.arrays[name]
+            if consumer is not None and group.start <= consumer < group.stop:
+                live = [i for i in layout if i not in group.shared]
+                total += iteration_space_size(live, self.program.dims)
+            else:
+                total += iteration_space_size(layout, self.program.dims)
+        return total
+
+    def unfused_temp_storage_elements(self) -> int:
+        return self.program.temp_elements()
+
+    def scalarized_temporaries(self) -> tuple[str, ...]:
+        """Temporaries that vanish into registers (all indices shared)."""
+        out = []
+        for t, name in self._temp_defs():
+            group = self.group_of(t)
+            consumer = self._consumer_of(name, t)
+            layout = self.program.arrays[name]
+            if (
+                consumer is not None
+                and group.start <= consumer < group.stop
+                and all(i in group.shared for i in layout)
+            ):
+                out.append(name)
+        return tuple(out)
+
+    def _temp_defs(self) -> list[tuple[int, str]]:
+        temps = set(self.program.temporaries)
+        return [
+            (t, op.output.name)
+            for t, op in enumerate(self.program.operations)
+            if op.output.name in temps
+        ]
+
+    def _consumer_of(self, name: str, after: int) -> int | None:
+        for c in range(after + 1, len(self.program.operations)):
+            op = self.program.operations[c]
+            if any(ref.name == name for ref in op.inputs):
+                return c
+        return None
+
+    def __str__(self) -> str:
+        return " | ".join(str(g) for g in self.groups)
+
+
+def _op_space(op: TCROperation) -> set[str]:
+    return set(op.all_indices)
+
+
+def _legal_shared(
+    ops: list[TCROperation], start: int, stop: int, shared: set[str]
+) -> bool:
+    """Check the producer-completeness condition for every fused edge."""
+    for p in range(start, stop - 1):
+        producer_out = set(ops[p].output.indices)
+        if not shared <= producer_out:
+            return False
+    return True
+
+
+def fusion_plan(program: TCRProgram) -> FusionPlan:
+    """Compute the greedy maximal fusion grouping for ``program``.
+
+    Consecutive operations join the current group while (a) the later one
+    consumes a value produced inside the group (fusion without dataflow
+    gives no benefit and is not attempted) and (b) the running intersection
+    of iteration spaces, restricted to each producer's output indices, stays
+    non-empty and legal.
+    """
+    ops = program.operations
+    groups: list[FusionGroup] = []
+    start = 0
+    shared = _op_space(ops[0])
+    for nxt in range(1, len(ops)):
+        produced = {ops[p].output.name for p in range(start, nxt)}
+        consumes = any(ref.name in produced for ref in ops[nxt].inputs)
+        candidate = shared & _op_space(ops[nxt])
+        if consumes and candidate and _legal_shared(ops, start, nxt + 1, candidate):
+            shared = candidate
+            continue
+        groups.append(_finish_group(program, start, nxt, shared))
+        start = nxt
+        shared = _op_space(ops[nxt])
+    groups.append(_finish_group(program, start, len(ops), shared))
+    return FusionPlan(program=program, groups=tuple(groups))
+
+
+def _finish_group(
+    program: TCRProgram, start: int, stop: int, shared: set[str]
+) -> FusionGroup:
+    if stop - start == 1:
+        # A singleton group shares nothing (there is no partner loop nest).
+        return FusionGroup(start, stop, ())
+    # Order the shared loops by their appearance in the first operation so
+    # codegen has a deterministic outer-loop order.
+    first = program.operations[start]
+    order = ordered_unique(first.all_indices)
+    return FusionGroup(
+        start, stop, tuple(i for i in order if i in shared)
+    )

@@ -1,0 +1,68 @@
+"""Index bookkeeping for tensor contractions.
+
+Indices are plain strings (``"i"``, ``"h7"``); this module centralizes the
+validation and set algebra used throughout OCTOPI and TCR so that index
+handling is consistent everywhere (ordered where order matters, sets where
+it does not).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.errors import ContractionError
+
+__all__ = [
+    "check_index_name",
+    "check_dims",
+    "ordered_unique",
+    "iteration_space_size",
+]
+
+_INDEX_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def check_index_name(name: str) -> str:
+    """Validate an index name (lowercase identifier) and return it."""
+    if not isinstance(name, str) or not _INDEX_RE.match(name):
+        raise ContractionError(
+            f"invalid index name {name!r}: indices must be lowercase identifiers"
+        )
+    return name
+
+
+def check_dims(dims: Mapping[str, int], required: Iterable[str]) -> dict[str, int]:
+    """Validate that ``dims`` covers ``required`` indices with positive sizes."""
+    out: dict[str, int] = {}
+    for idx, size in dims.items():
+        check_index_name(idx)
+        if not isinstance(size, int) or size <= 0:
+            raise ContractionError(f"dimension of index {idx!r} must be a positive int, got {size!r}")
+        out[idx] = size
+    missing = [idx for idx in required if idx not in out]
+    if missing:
+        raise ContractionError(f"missing dimensions for indices: {sorted(set(missing))}")
+    return out
+
+
+def ordered_unique(items: Iterable[str]) -> tuple[str, ...]:
+    """Deduplicate while preserving first-occurrence order."""
+    seen: set[str] = set()
+    out: list[str] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return tuple(out)
+
+
+def iteration_space_size(indices: Sequence[str], dims: Mapping[str, int]) -> int:
+    """Product of the extents of ``indices`` (1 for the empty sequence)."""
+    size = 1
+    for idx in indices:
+        try:
+            size *= dims[idx]
+        except KeyError:
+            raise ContractionError(f"no dimension recorded for index {idx!r}") from None
+    return size

@@ -1,0 +1,106 @@
+"""Temporary-array layout enumeration — an OCTOPI extension.
+
+Section III closes its example with: "Choosing different subexpressions to
+evaluate first will result in different fusion opportunities and sometimes
+different operation counts.  *Performance depends on data layout in
+memory* and subsequent transformations."  The lowering in
+:mod:`repro.core.variants` fixes each temporary's layout to its
+result-index order; this module exposes the remaining degree of freedom:
+permuting a temporary's axes (which reorders the producer's output binding
+and every consumer's access binding consistently, so the program stays
+numerically identical while its coalescing/contiguity profile — and hence
+the decision algorithm's candidate lists — changes).
+
+This multiplies the algebraic space, so enumeration is capped and off by
+default; the layout ablation bench quantifies what it buys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+from repro.core.tensor import TensorRef
+from repro.errors import TCRError
+from repro.tcr.program import TCROperation, TCRProgram
+
+__all__ = ["permute_temp_layout", "enumerate_layout_variants"]
+
+
+def permute_temp_layout(
+    program: TCRProgram, temp: str, order: Sequence[str]
+) -> TCRProgram:
+    """Return a copy of ``program`` with ``temp`` stored in ``order``.
+
+    ``order`` must be a permutation of the temporary's current layout.  The
+    producer's output reference and every consumer's input reference are
+    rewritten to the same order, so the program computes the same values.
+    """
+    if temp not in program.temporaries and temp not in program.output_names:
+        raise TCRError(f"{temp!r} is not an array written by this program")
+    old = program.arrays[temp]
+    order = tuple(order)
+    if sorted(order) != sorted(old):
+        raise TCRError(
+            f"{order} is not a permutation of {temp!r}'s layout {old}"
+        )
+    # With positional access semantics, a consumer may bind *different*
+    # index names to the axes than the producer did; rewriting must permute
+    # each reference's own tuple the same way the axes move.
+    axis_perm = [old.index(i) for i in order]
+
+    def rewrite(ref: TensorRef) -> TensorRef:
+        if ref.name != temp:
+            return ref
+        return TensorRef(temp, tuple(ref.indices[p] for p in axis_perm))
+
+    operations = [
+        TCROperation(rewrite(op.output), tuple(rewrite(r) for r in op.inputs))
+        for op in program.operations
+    ]
+    arrays = dict(program.arrays)
+    arrays[temp] = order
+    return TCRProgram(
+        name=program.name,
+        dims=dict(program.dims),
+        arrays=arrays,
+        operations=operations,
+        access=program.access,
+    )
+
+
+def enumerate_layout_variants(
+    program: TCRProgram,
+    max_variants: int = 8,
+    include_original: bool = True,
+) -> list[TCRProgram]:
+    """Enumerate layout-permuted versions of ``program``'s temporaries.
+
+    Deterministic order: the original first (if requested), then single-
+    temporary rotations before full permutations, capped at
+    ``max_variants``.  Every returned program is numerically equivalent to
+    the input (tests verify this).
+    """
+    out: list[TCRProgram] = [program] if include_original else []
+    seen: set[tuple] = {tuple(sorted(program.arrays.items()))}
+
+    temps = list(program.temporaries)
+    candidates: list[tuple[str, tuple[str, ...]]] = []
+    for temp in temps:
+        layout = program.arrays[temp]
+        if len(layout) < 2:
+            continue
+        for perm in itertools.permutations(layout):
+            if perm != layout:
+                candidates.append((temp, perm))
+
+    for temp, perm in candidates:
+        if len(out) >= max_variants:
+            break
+        variant = permute_temp_layout(program, temp, perm)
+        key = tuple(sorted(variant.arrays.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(variant)
+    return out

@@ -1,0 +1,134 @@
+"""OCTOPI stage-1 driver: DSL text in, TCR variants out.
+
+This is the top of the Barracuda funnel (Fig. 1): parse the mathematical
+input, enumerate strength-reduction variants (Algorithm 1), lower each to a
+TCR program, and attach fusion analysis.  The autotuner
+(:mod:`repro.autotune.tuner`) then builds a search space per variant and
+hands the union to SURF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.contraction import Contraction
+from repro.core.fusion import FusionPlan, fusion_plan
+from repro.core.variants import Variant, generate_variants
+
+__all__ = [
+    "CompiledContraction",
+    "compile_dsl",
+    "compile_contraction",
+    "compile_dsl_to_program",
+]
+
+
+@dataclass(frozen=True)
+class CompiledContraction:
+    """OCTOPI output for one contraction: all variants plus analyses."""
+
+    contraction: Contraction
+    variants: tuple[Variant, ...]
+    fusion: tuple[FusionPlan, ...]  # parallel to `variants`
+
+    @property
+    def min_flops(self) -> int:
+        return min(v.flops for v in self.variants)
+
+    def minimal_flop_variants(self) -> tuple[Variant, ...]:
+        """Variants achieving the minimum op count (the paper's 'six')."""
+        best = self.min_flops
+        return tuple(v for v in self.variants if v.flops == best)
+
+    def variant(self, index: int) -> Variant:
+        return self.variants[index]
+
+
+def compile_contraction(
+    contraction: Contraction, max_variants: int | None = None
+) -> CompiledContraction:
+    """Run OCTOPI on an already-built contraction."""
+    variants = tuple(generate_variants(contraction, max_variants))
+    plans = tuple(fusion_plan(v.program) for v in variants)
+    return CompiledContraction(contraction, variants, plans)
+
+
+def compile_dsl(
+    text: str,
+    default_dim: int | None = None,
+    name: str = "program",
+    max_variants: int | None = None,
+) -> list[CompiledContraction]:
+    """Run OCTOPI on DSL text; one result per statement/specialization."""
+    # Imported here: the DSL parser produces core IR objects, so importing it
+    # at module scope would make repro.core and repro.dsl mutually circular.
+    from repro.dsl.parser import parse_program
+
+    parsed = parse_program(text, default_dim=default_dim, name=name)
+    return [
+        compile_contraction(c, max_variants=max_variants)
+        for c in parsed.contractions
+    ]
+
+
+def compile_dsl_to_program(
+    text: str,
+    default_dim: int | None = None,
+    name: str = "program",
+):
+    """Compile a multi-statement DSL input into ONE TCR program.
+
+    Where :func:`compile_dsl` treats each statement as an independent
+    contraction (each getting its own OCTOPI variant enumeration), this
+    path treats the statement sequence as a *fixed* operation pipeline —
+    the form of Nekbone's ``local_grad3``/``local_grad3t``, where later
+    statements may consume earlier outputs and several ``+=`` statements
+    may accumulate into the same result:
+
+    .. code-block:: text
+
+        dim e = 512
+        dim i j k l = 12
+        ur[e i j k] = Sum([l], d[i l] * u[e l j k])
+        us[e i j k] = Sum([l], d[j l] * u[e i l k])
+        ut[e i j k] = Sum([l], d[k l] * u[e i j l])
+
+    Only unary/binary products are accepted (a TCR operation is at most
+    binary); use :func:`compile_dsl` for multi-term statements that need
+    strength reduction first.
+    """
+    from repro.dsl.parser import parse_program
+    from repro.errors import DSLSemanticError
+    from repro.tcr.program import TCROperation, TCRProgram
+
+    parsed = parse_program(text, default_dim=default_dim, name=name)
+    dims: dict[str, int] = {}
+    arrays: dict[str, tuple[str, ...]] = {}
+    operations: list[TCROperation] = []
+    for contraction in parsed.contractions:
+        if len(contraction.terms) > 2:
+            raise DSLSemanticError(
+                f"statement {contraction.name!r} has {len(contraction.terms)} "
+                "factors; TCR operations are at most binary — run compile_dsl "
+                "(strength reduction) on it instead"
+            )
+        for idx, size in contraction.dims.items():
+            if dims.setdefault(idx, size) != size:
+                raise DSLSemanticError(
+                    f"index {idx!r} has extent {dims[idx]} in one statement "
+                    f"and {size} in another"
+                )
+        for ref in (contraction.output, *contraction.terms):
+            have = arrays.get(ref.name)
+            if have is None:
+                arrays[ref.name] = ref.indices
+            else:
+                have_shape = tuple(dims[i] for i in have)
+                want_shape = tuple(dims[i] for i in ref.indices)
+                if have_shape != want_shape:
+                    raise DSLSemanticError(
+                        f"array {ref.name!r} used with shapes {have_shape} "
+                        f"and {want_shape}"
+                    )
+        operations.append(TCROperation(contraction.output, contraction.terms))
+    return TCRProgram(name=name, dims=dims, arrays=arrays, operations=operations)

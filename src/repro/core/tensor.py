@@ -1,0 +1,102 @@
+"""Tensor references: a name plus an ordered index tuple.
+
+``A[l k]`` in the DSL becomes ``TensorRef("A", ("l", "k"))``.  Index order is
+significant — it determines memory layout (row-major, last index fastest)
+and therefore the contiguity analysis in :mod:`repro.tcr.memory`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.indices import check_index_name, iteration_space_size
+from repro.errors import ContractionError
+
+__all__ = ["TensorRef"]
+
+
+@dataclass(frozen=True, order=True)
+class TensorRef:
+    """An occurrence of a tensor with a specific index binding.
+
+    Attributes
+    ----------
+    name:
+        Tensor identifier, e.g. ``"A"`` or ``"temp1"``.
+    indices:
+        Ordered index names; the *last* index is the fastest-varying
+        (row-major layout convention, as in the paper's generated C/CUDA).
+    """
+
+    name: str
+    indices: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ContractionError(f"invalid tensor name: {self.name!r}")
+        if not isinstance(self.indices, tuple):
+            object.__setattr__(self, "indices", tuple(self.indices))
+        for idx in self.indices:
+            check_index_name(idx)
+        if len(set(self.indices)) != len(self.indices):
+            # Repeated indices within one tensor (traces) are out of scope for
+            # the paper's contraction class; reject them loudly.
+            raise ContractionError(
+                f"tensor {self.name!r} repeats an index: {self.indices}; "
+                "diagonal/trace access is not a tensor contraction in this IR"
+            )
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.indices)
+
+    @property
+    def index_set(self) -> frozenset[str]:
+        """Indices as a set (order-insensitive queries)."""
+        return frozenset(self.indices)
+
+    def size(self, dims: Mapping[str, int]) -> int:
+        """Number of elements under the given index extents."""
+        return iteration_space_size(self.indices, dims)
+
+    def shape(self, dims: Mapping[str, int]) -> tuple[int, ...]:
+        """Concrete shape under the given index extents."""
+        try:
+            return tuple(dims[i] for i in self.indices)
+        except KeyError as exc:
+            raise ContractionError(
+                f"tensor {self.name!r} uses index {exc.args[0]!r} with no dimension"
+            ) from None
+
+    def strides(self, dims: Mapping[str, int]) -> dict[str, int]:
+        """Element stride of each index under row-major layout.
+
+        The last index has stride 1; earlier indices have the product of the
+        extents to their right.
+        """
+        strides: dict[str, int] = {}
+        acc = 1
+        for idx in reversed(self.indices):
+            strides[idx] = acc
+            acc *= dims[idx]
+        return strides
+
+    def rename(self, mapping: Mapping[str, str]) -> "TensorRef":
+        """Return a copy with indices renamed through ``mapping``."""
+        return TensorRef(self.name, tuple(mapping.get(i, i) for i in self.indices))
+
+    def __str__(self) -> str:
+        return f"{self.name}[{' '.join(self.indices)}]"
+
+    @staticmethod
+    def parse(text: str) -> "TensorRef":
+        """Parse compact forms like ``"A[l k]"`` or ``"A[l,k]"``."""
+        text = text.strip()
+        if "[" not in text or not text.endswith("]"):
+            raise ContractionError(f"cannot parse tensor reference: {text!r}")
+        name, _, rest = text.partition("[")
+        body = rest[:-1].replace(",", " ")
+        indices: Iterable[str] = body.split()
+        return TensorRef(name.strip(), tuple(indices))

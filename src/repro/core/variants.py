@@ -1,0 +1,145 @@
+"""Lowering contraction trees to TCR programs (OCTOPI's output, Fig. 2b).
+
+Each internal node of a :class:`~repro.core.expr_tree.ContractionTree`
+becomes one binary TCR operation writing a temporary (``temp1``, ``temp2``,
+...); the root writes the declared output.  Leaves whose term carries an
+index used nowhere else get a unary pre-reduction operation, implementing
+lines 5–9 of the paper's Algorithm 1.
+
+:func:`generate_variants` packages the full OCTOPI stage-1 output: every
+strength-reduction variant of a contraction, lowered and annotated with its
+flop count and temporary footprint, deterministically numbered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.contraction import Contraction
+from repro.core.expr_tree import ContractionTree, Leaf, Node
+from repro.core.opcount import tree_operation_count, tree_temp_elements
+from repro.core.strength_reduction import enumerate_trees
+from repro.core.tensor import TensorRef
+from repro.errors import ContractionError
+from repro.tcr.program import TCROperation, TCRProgram
+
+__all__ = ["Variant", "lower_tree_to_tcr", "generate_variants"]
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One algebraic variant of a contraction, ready for TCR tuning."""
+
+    index: int
+    tree: ContractionTree
+    program: TCRProgram
+    flops: int
+    temp_elements: int
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def __str__(self) -> str:
+        return (
+            f"variant {self.index}: {self.tree} "
+            f"({self.flops} flops, {self.temp_elements} temp elements)"
+        )
+
+
+def lower_tree_to_tcr(tree: ContractionTree, name: str | None = None) -> TCRProgram:
+    """Lower one contraction tree to a TCR program.
+
+    The produced operation order is bottom-up left-to-right, temporaries are
+    numbered in creation order, and array layouts follow each value's result
+    index order — reproducing the shape of the paper's Fig. 2(b).
+    """
+    contraction = tree.contraction
+    if name is None:
+        name = contraction.name
+    arrays: dict[str, tuple[str, ...]] = {}
+    for term in contraction.terms:
+        existing = arrays.get(term.name)
+        if existing is not None and existing != term.indices:
+            raise ContractionError(
+                f"tensor {term.name!r} appears with layouts {existing} and "
+                f"{term.indices}; give the occurrences distinct names"
+            )
+        arrays[term.name] = term.indices
+    out_ref = contraction.output
+    if out_ref.name in arrays:
+        raise ContractionError(
+            f"output {out_ref.name!r} also appears as an input; not supported"
+        )
+
+    operations: list[TCROperation] = []
+    value_ref: dict[Leaf | Node, TensorRef] = {}
+    counter = 0
+
+    def fresh_temp(indices: tuple[str, ...]) -> TensorRef:
+        nonlocal counter
+        counter += 1
+        ref = TensorRef(f"temp{counter}", indices)
+        arrays[ref.name] = indices
+        return ref
+
+    def ref_of(node: Leaf | Node) -> TensorRef:
+        if node in value_ref:
+            return value_ref[node]
+        assert isinstance(node, Leaf)
+        term = contraction.terms[node.term]
+        summed = tree.summed_at(node)
+        if summed:
+            # Unary pre-reduction: temp[result] += term[all indices].
+            temp = fresh_temp(tree.result_indices(node))
+            operations.append(TCROperation(temp, (term,)))
+            value_ref[node] = temp
+            return temp
+        value_ref[node] = term
+        return term
+
+    internal = tree.internal_nodes()
+    for pos, node in enumerate(internal):
+        left = ref_of(node.left)
+        right = ref_of(node.right)
+        is_root = pos == len(internal) - 1
+        if is_root:
+            out = out_ref
+            arrays[out.name] = out.indices
+        else:
+            out = fresh_temp(tree.result_indices(node))
+        operations.append(TCROperation(out, (left, right)))
+        value_ref[node] = out
+
+    if not internal:
+        # Single-term contraction: the root is a leaf; emit one unary op.
+        term = contraction.terms[0]
+        arrays[out_ref.name] = out_ref.indices
+        operations.append(TCROperation(out_ref, (term,)))
+
+    return TCRProgram(
+        name=name,
+        dims=dict(contraction.dims),
+        arrays=arrays,
+        operations=operations,
+    )
+
+
+def generate_variants(
+    contraction: Contraction,
+    max_variants: int | None = None,
+) -> list[Variant]:
+    """OCTOPI stage 1: enumerate, lower, and annotate every variant."""
+    variants: list[Variant] = []
+    for i, tree in enumerate(enumerate_trees(contraction, max_variants)):
+        program = lower_tree_to_tcr(tree, name=f"{contraction.name}_v{i}")
+        variants.append(
+            Variant(
+                index=i,
+                tree=tree,
+                program=program,
+                flops=tree_operation_count(tree),
+                temp_elements=tree_temp_elements(tree),
+            )
+        )
+    return variants

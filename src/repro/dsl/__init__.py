@@ -1,0 +1,25 @@
+"""The OCTOPI input language (the paper's Fig. 2a).
+
+.. code-block:: text
+
+    # spectral-element interpolation, Eqn.(1) of the paper
+    dim i j k l m n = 10
+    V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+
+A program is a sequence of dimension declarations and summation statements.
+Summation indices may be written explicitly with ``Sum([...], ...)`` (and
+are validated against the Einstein-convention derivation) or left implicit.
+"""
+
+from repro.dsl.parser import parse_program, parse_contraction
+from repro.dsl.printer import format_contraction, format_program
+from repro.dsl.einsum import contraction_to_einsum, einsum_to_contraction
+
+__all__ = [
+    "parse_program",
+    "parse_contraction",
+    "format_contraction",
+    "format_program",
+    "contraction_to_einsum",
+    "einsum_to_contraction",
+]

@@ -1,0 +1,52 @@
+"""Abstract syntax tree for the OCTOPI DSL.
+
+The AST is deliberately tiny — the language has two statement forms
+(dimension declarations and summation statements) and one expression form
+(a product of tensor references, optionally wrapped in an explicit ``Sum``).
+Semantic conversion to the core IR lives in the parser module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TensorRefNode", "SumStatement", "DimDecl", "ProgramNode"]
+
+
+@dataclass(frozen=True)
+class TensorRefNode:
+    """``A[l k]`` — a tensor name with bracketed indices."""
+
+    name: str
+    indices: tuple[str, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class SumStatement:
+    """``V[i j k] = Sum([l m n], A[l k] * ...)`` or the implicit form.
+
+    ``sum_indices`` is ``None`` when the Einstein convention is relied on
+    (no explicit ``Sum``); ``accumulate`` records ``+=`` vs ``=``.
+    """
+
+    lhs: TensorRefNode
+    sum_indices: tuple[str, ...] | None
+    factors: tuple[TensorRefNode, ...]
+    accumulate: bool
+    line: int
+
+
+@dataclass(frozen=True)
+class DimDecl:
+    """``dim i j k = 10`` or ``dim p = 8..12`` (a range of sizes)."""
+
+    names: tuple[str, ...]
+    low: int
+    high: int  # == low unless a range was given
+    line: int
+
+
+@dataclass(frozen=True)
+class ProgramNode:
+    statements: tuple[DimDecl | SumStatement, ...]

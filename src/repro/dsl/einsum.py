@@ -1,0 +1,32 @@
+"""Bridge between the OCTOPI IR and :func:`numpy.einsum` notation.
+
+Many downstream users think in einsum strings; these helpers let them enter
+and leave the DSL world without writing Fig. 2(a) text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.contraction import Contraction
+
+__all__ = ["contraction_to_einsum", "einsum_to_contraction"]
+
+
+def contraction_to_einsum(contraction: Contraction) -> str:
+    """The explicit einsum subscript string for a contraction."""
+    return contraction.einsum_spec()
+
+
+def einsum_to_contraction(
+    spec: str,
+    names: Sequence[str],
+    dims: Mapping[str, int] | int,
+    output_name: str = "out",
+    name: str = "contraction",
+) -> Contraction:
+    """Build a :class:`Contraction` from an einsum spec (see
+    :meth:`Contraction.from_einsum`)."""
+    return Contraction.from_einsum(
+        spec, names, dims, output_name=output_name, name=name
+    )

@@ -1,0 +1,94 @@
+"""Hand-rolled lexer for the OCTOPI DSL.
+
+Produces a flat token stream with source positions; ``#`` starts a comment
+running to end of line; newlines are significant (they separate statements)
+but blank lines collapse.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.tokens import Token, TokenKind
+from repro.errors import DSLSyntaxError
+
+__all__ = ["tokenize"]
+
+_PUNCT = {
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    "*": TokenKind.STAR,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into tokens, ending with a single EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(text)
+
+    def emit(kind: TokenKind, tok_text: str, tok_col: int) -> None:
+        tokens.append(Token(kind, tok_text, line, tok_col))
+
+    while i < n:
+        ch = text[i]
+        if ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "\n":
+            if tokens and tokens[-1].kind != TokenKind.NEWLINE:
+                emit(TokenKind.NEWLINE, "\\n", col)
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch in _PUNCT:
+            emit(_PUNCT[ch], ch, col)
+            i += 1
+            col += 1
+            continue
+        if ch == "=":
+            emit(TokenKind.EQUALS, "=", col)
+            i += 1
+            col += 1
+            continue
+        if ch == "+" and i + 1 < n and text[i + 1] == "=":
+            emit(TokenKind.PLUSEQ, "+=", col)
+            i += 2
+            col += 2
+            continue
+        if ch == "." and i + 1 < n and text[i + 1] == ".":
+            emit(TokenKind.RANGE, "..", col)
+            i += 2
+            col += 2
+            continue
+        if ch.isdigit():
+            start = i
+            start_col = col
+            while i < n and text[i].isdigit():
+                i += 1
+                col += 1
+            emit(TokenKind.INT, text[start:i], start_col)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = col
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+                col += 1
+            emit(TokenKind.IDENT, text[start:i], start_col)
+            continue
+        raise DSLSyntaxError(f"unexpected character {ch!r}", line, col)
+
+    if tokens and tokens[-1].kind != TokenKind.NEWLINE:
+        tokens.append(Token(TokenKind.NEWLINE, "\\n", line, col))
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,290 @@
+"""Recursive-descent parser for the OCTOPI DSL plus semantic lowering.
+
+:func:`parse_program` returns fully validated :class:`~repro.core.contraction.Contraction`
+objects — one per summation statement — with index extents resolved from
+``dim`` declarations (range declarations like ``dim p = 8..12`` yield one
+contraction per size, the paper's "specify ... a range of dimensions so that
+the framework can specialize").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.contraction import Contraction
+from repro.core.indices import ordered_unique
+from repro.core.tensor import TensorRef
+from repro.dsl.ast import DimDecl, ProgramNode, SumStatement, TensorRefNode
+from repro.dsl.lexer import tokenize
+from repro.dsl.tokens import Token, TokenKind
+from repro.errors import DSLSemanticError, DSLSyntaxError
+
+__all__ = ["parse_program", "parse_contraction", "ParsedProgram"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind != TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: TokenKind, what: str) -> Token:
+        tok = self.current
+        if tok.kind != kind:
+            raise DSLSyntaxError(
+                f"expected {what}, found {tok}", tok.line, tok.column
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.current.kind == TokenKind.NEWLINE:
+            self.advance()
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> ProgramNode:
+        statements: list[DimDecl | SumStatement] = []
+        self.skip_newlines()
+        while self.current.kind != TokenKind.EOF:
+            statements.append(self.statement())
+            self.skip_newlines()
+        return ProgramNode(tuple(statements))
+
+    def statement(self) -> DimDecl | SumStatement:
+        tok = self.current
+        if tok.kind == TokenKind.IDENT and tok.text == "dim":
+            return self.dim_decl()
+        return self.sum_statement()
+
+    def dim_decl(self) -> DimDecl:
+        start = self.expect(TokenKind.IDENT, "'dim'")
+        names: list[str] = []
+        while self.current.kind == TokenKind.IDENT:
+            names.append(self.advance().text)
+        if not names:
+            raise DSLSyntaxError("dim declaration names no indices", start.line)
+        self.expect(TokenKind.EQUALS, "'=' in dim declaration")
+        low = int(self.expect(TokenKind.INT, "dimension size").text)
+        high = low
+        if self.current.kind == TokenKind.RANGE:
+            self.advance()
+            high = int(self.expect(TokenKind.INT, "range upper bound").text)
+        if low <= 0 or high < low:
+            raise DSLSemanticError(
+                f"invalid dimension range {low}..{high} at line {start.line}"
+            )
+        self.end_of_statement()
+        return DimDecl(tuple(names), low, high, start.line)
+
+    def sum_statement(self) -> SumStatement:
+        lhs = self.tensor_ref()
+        accumulate = False
+        if self.current.kind == TokenKind.PLUSEQ:
+            accumulate = True
+            self.advance()
+        else:
+            self.expect(TokenKind.EQUALS, "'=' or '+='")
+        sum_indices: tuple[str, ...] | None = None
+        if (
+            self.current.kind == TokenKind.IDENT
+            and self.current.text == "Sum"
+            and self.tokens[self.pos + 1].kind == TokenKind.LPAREN
+        ):
+            self.advance()  # Sum
+            self.advance()  # (
+            self.expect(TokenKind.LBRACKET, "'[' opening the summation index list")
+            idx: list[str] = []
+            while self.current.kind == TokenKind.IDENT:
+                idx.append(self.advance().text)
+                if self.current.kind == TokenKind.COMMA:
+                    self.advance()
+            self.expect(TokenKind.RBRACKET, "']' closing the summation index list")
+            self.expect(TokenKind.COMMA, "',' after the summation index list")
+            sum_indices = tuple(idx)
+            factors = self.product()
+            self.expect(TokenKind.RPAREN, "')' closing Sum(...)")
+        else:
+            factors = self.product()
+        self.end_of_statement()
+        return SumStatement(lhs, sum_indices, factors, accumulate, lhs.line)
+
+    def product(self) -> tuple[TensorRefNode, ...]:
+        factors = [self.tensor_ref()]
+        while self.current.kind == TokenKind.STAR:
+            self.advance()
+            factors.append(self.tensor_ref())
+        return tuple(factors)
+
+    def tensor_ref(self) -> TensorRefNode:
+        name_tok = self.expect(TokenKind.IDENT, "a tensor name")
+        self.expect(TokenKind.LBRACKET, f"'[' after tensor {name_tok.text!r}")
+        indices: list[str] = []
+        while self.current.kind == TokenKind.IDENT:
+            indices.append(self.advance().text)
+            if self.current.kind == TokenKind.COMMA:
+                self.advance()
+        self.expect(TokenKind.RBRACKET, f"']' closing indices of {name_tok.text!r}")
+        return TensorRefNode(name_tok.text, tuple(indices), name_tok.line)
+
+    def end_of_statement(self) -> None:
+        if self.current.kind == TokenKind.EOF:
+            return
+        self.expect(TokenKind.NEWLINE, "end of statement")
+
+
+# ----------------------------------------------------------------------
+# Semantic lowering
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParsedProgram:
+    """The semantic result: contractions with resolved dimensions.
+
+    ``contractions`` holds one entry per summation statement and per size in
+    any declared dimension *range* (specialization).  ``dims`` is the base
+    extent map (at the low end of each range).
+    """
+
+    contractions: tuple[Contraction, ...]
+    dims: dict[str, int]
+
+
+def parse_program(
+    text: str,
+    default_dim: int | None = None,
+    name: str = "program",
+) -> ParsedProgram:
+    """Parse DSL ``text`` into validated contractions.
+
+    Parameters
+    ----------
+    text:
+        The OCTOPI source.
+    default_dim:
+        Extent for indices with no ``dim`` declaration; if ``None``,
+        undeclared indices are an error.
+    name:
+        Base name used for the produced contractions (suffixed with the
+        statement number and, for ranged dims, the size).
+    """
+    node = _Parser(tokenize(text)).parse()
+    ranges: dict[str, tuple[int, int]] = {}
+    statements: list[SumStatement] = []
+    for stmt in node.statements:
+        if isinstance(stmt, DimDecl):
+            for idx in stmt.names:
+                if idx in ranges and ranges[idx] != (stmt.low, stmt.high):
+                    raise DSLSemanticError(
+                        f"index {idx!r} re-declared with a different size "
+                        f"(line {stmt.line})"
+                    )
+                ranges[idx] = (stmt.low, stmt.high)
+        else:
+            statements.append(stmt)
+    if not statements:
+        raise DSLSemanticError("program contains no summation statements")
+
+    contractions: list[Contraction] = []
+    multi = len(statements) > 1
+    for s, stmt in enumerate(statements):
+        base = f"{name}_s{s}" if multi else name
+        for dims, suffix in _dim_specializations(stmt, ranges, default_dim):
+            contractions.append(_lower_statement(stmt, dims, base + suffix))
+    return ParsedProgram(tuple(contractions), _base_dims(ranges))
+
+
+def parse_contraction(
+    text: str, default_dim: int | None = None, name: str = "contraction"
+) -> Contraction:
+    """Parse a single-statement program and return its one contraction."""
+    parsed = parse_program(text, default_dim=default_dim, name=name)
+    if len(parsed.contractions) != 1:
+        raise DSLSemanticError(
+            f"expected exactly one contraction, parsed {len(parsed.contractions)}"
+        )
+    return parsed.contractions[0]
+
+
+def _base_dims(ranges: dict[str, tuple[int, int]]) -> dict[str, int]:
+    return {idx: low for idx, (low, _high) in ranges.items()}
+
+
+def _statement_indices(stmt: SumStatement) -> tuple[str, ...]:
+    return ordered_unique(
+        tuple(stmt.lhs.indices) + tuple(i for f in stmt.factors for i in f.indices)
+    )
+
+
+def _dim_specializations(
+    stmt: SumStatement,
+    ranges: dict[str, tuple[int, int]],
+    default_dim: int | None,
+):
+    """Yield (dims, name_suffix) per specialization of ranged dimensions.
+
+    All ranged indices step together (the spectral-element use case: one
+    polynomial order p sets every extent); mismatched range widths are an
+    error to keep specializations unambiguous.
+    """
+    indices = _statement_indices(stmt)
+    dims: dict[str, int] = {}
+    ranged: list[str] = []
+    widths: set[int] = set()
+    for idx in indices:
+        if idx in ranges:
+            low, high = ranges[idx]
+            dims[idx] = low
+            if high != low:
+                ranged.append(idx)
+                widths.add(high - low)
+        elif default_dim is not None:
+            dims[idx] = default_dim
+        else:
+            raise DSLSemanticError(
+                f"index {idx!r} (line {stmt.line}) has no dim declaration and "
+                "no default_dim was provided"
+            )
+    if not ranged:
+        yield dims, ""
+        return
+    if len(widths) != 1:
+        raise DSLSemanticError(
+            f"ranged dimensions of statement at line {stmt.line} have "
+            "different widths; cannot specialize jointly"
+        )
+    width = widths.pop()
+    for step in range(width + 1):
+        spec = dict(dims)
+        for idx in ranged:
+            spec[idx] = ranges[idx][0] + step
+        yield spec, f"_n{ranges[ranged[0]][0] + step}"
+
+
+def _lower_statement(
+    stmt: SumStatement, dims: dict[str, int], name: str
+) -> Contraction:
+    output = TensorRef(stmt.lhs.name, stmt.lhs.indices)
+    terms = tuple(TensorRef(f.name, f.indices) for f in stmt.factors)
+    contraction = Contraction(output=output, terms=terms, dims=dims, name=name)
+    if stmt.sum_indices is not None:
+        derived = set(contraction.summation_indices)
+        declared = set(stmt.sum_indices)
+        if declared != derived:
+            raise DSLSemanticError(
+                f"Sum([...]) at line {stmt.line} lists indices "
+                f"{sorted(declared)} but the Einstein-derived summation set "
+                f"is {sorted(derived)}"
+            )
+        if len(stmt.sum_indices) != len(declared):
+            raise DSLSemanticError(
+                f"Sum([...]) at line {stmt.line} repeats an index"
+            )
+    return contraction

@@ -1,0 +1,48 @@
+"""Pretty-printing core IR back to OCTOPI DSL text (round-trip support)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.contraction import Contraction
+
+__all__ = ["format_contraction", "format_program"]
+
+
+def format_contraction(contraction: Contraction, with_dims: bool = True) -> str:
+    """Render one contraction in Fig. 2(a) style, optionally with dims."""
+    lines: list[str] = []
+    if with_dims:
+        by_size: dict[int, list[str]] = {}
+        for idx in contraction.all_indices:
+            by_size.setdefault(contraction.dims[idx], []).append(idx)
+        for size, names in sorted(by_size.items()):
+            lines.append(f"dim {' '.join(names)} = {size}")
+    lhs = f"{contraction.output.name}[{' '.join(contraction.output.indices)}]"
+    product = " * ".join(
+        f"{t.name}[{' '.join(t.indices)}]" for t in contraction.terms
+    )
+    summed = contraction.summation_indices
+    if summed:
+        lines.append(f"{lhs} = Sum([{' '.join(summed)}], {product})")
+    else:
+        lines.append(f"{lhs} = {product}")
+    return "\n".join(lines)
+
+
+def format_program(contractions: Iterable[Contraction]) -> str:
+    """Render several statements, emitting shared dims once."""
+    contractions = list(contractions)
+    dims: dict[str, int] = {}
+    for c in contractions:
+        for idx, size in c.dims.items():
+            dims.setdefault(idx, size)
+    lines: list[str] = []
+    by_size: dict[int, list[str]] = {}
+    for idx, size in dims.items():
+        by_size.setdefault(size, []).append(idx)
+    for size, names in sorted(by_size.items()):
+        lines.append(f"dim {' '.join(names)} = {size}")
+    for c in contractions:
+        lines.append(format_contraction(c, with_dims=False))
+    return "\n".join(lines)

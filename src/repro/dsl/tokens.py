@@ -1,0 +1,37 @@
+"""Token definitions for the OCTOPI DSL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+__all__ = ["TokenKind", "Token"]
+
+
+class TokenKind(Enum):
+    IDENT = auto()      # V, Sum, i, temp1, h7
+    INT = auto()        # 10
+    LBRACKET = auto()   # [
+    RBRACKET = auto()   # ]
+    LPAREN = auto()     # (
+    RPAREN = auto()     # )
+    COMMA = auto()      # ,
+    STAR = auto()       # *
+    EQUALS = auto()     # =
+    PLUSEQ = auto()     # +=
+    RANGE = auto()      # ..  (dimension ranges: dim p = 8..12)
+    NEWLINE = auto()    # statement separator
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        if self.kind in (TokenKind.NEWLINE, TokenKind.EOF):
+            return self.kind.name
+        return f"{self.kind.name}({self.text})"

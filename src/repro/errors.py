@@ -1,0 +1,72 @@
+"""Exception hierarchy for the Barracuda reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems raise more
+specific subclasses to make test assertions and user diagnostics precise.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class DSLError(ReproError):
+    """Problem with OCTOPI DSL input (lexing, parsing, semantic checks)."""
+
+
+class DSLSyntaxError(DSLError):
+    """Malformed DSL text.
+
+    Carries the source line/column of the offending token when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}" + (
+                f", column {column})" if column is not None else ")"
+            )
+        super().__init__(message)
+
+
+class DSLSemanticError(DSLError):
+    """Well-formed but meaningless DSL input (e.g. inconsistent dims)."""
+
+
+class ContractionError(ReproError):
+    """Invalid contraction specification in the core IR."""
+
+
+class TCRError(ReproError):
+    """Problem constructing or transforming a TCR program."""
+
+
+class CodegenError(ReproError):
+    """Code generation could not produce a kernel for a configuration."""
+
+
+class SearchSpaceError(ReproError):
+    """The decision algorithm produced an inconsistent search space."""
+
+
+class ConfigurationError(ReproError):
+    """A point in the search space violates its constraints."""
+
+
+class SimulationError(ReproError):
+    """The GPU simulator was asked to do something unphysical."""
+
+
+class ArchitectureError(SimulationError):
+    """Unknown or malformed architecture description."""
+
+
+class SearchError(ReproError):
+    """SURF / baseline searchers got inconsistent inputs."""
+
+
+class WorkloadError(ReproError):
+    """Unknown benchmark name or malformed workload definition."""

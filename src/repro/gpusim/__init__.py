@@ -1,0 +1,44 @@
+"""GPU/CPU simulator substrate — the reproduction's stand-in for hardware.
+
+The paper evaluates on an Intel Haswell and three NVIDIA GPUs (Tesla C2050,
+Tesla K20, GTX 980).  None is available here, so this subpackage provides:
+
+* :mod:`repro.gpusim.arch` — machine descriptions of those four devices;
+* :mod:`repro.gpusim.kernel` — lowering of a (TCR operation, configuration)
+  pair into a concrete kernel launch (grid/block shapes, per-thread work,
+  access-pattern classification);
+* :mod:`repro.gpusim.perfmodel` — the analytical timing model used as the
+  autotuning objective;
+* :mod:`repro.gpusim.executor` — a functional interpreter that executes the
+  mapped kernel exactly as the generated CUDA would (correctness oracle);
+* :mod:`repro.gpusim.transfer` — PCIe transfer model;
+* :mod:`repro.gpusim.cpu` — sequential and OpenMP Haswell models;
+* :mod:`repro.gpusim.openacc` — naive/optimized OpenACC strategy models;
+* :mod:`repro.gpusim.calibration` — the constants tying it all to the
+  paper's measured ranges.
+"""
+
+from repro.gpusim.arch import GPUArch, CPUArch, GTX980, K20, C2050, HASWELL, gpu_by_name
+from repro.gpusim.kernel import KernelLaunch, build_launch
+from repro.gpusim.perfmodel import GPUPerformanceModel, ProgramTiming
+from repro.gpusim.executor import execute_kernel, execute_program
+from repro.gpusim.cpu import CPUPerformanceModel
+from repro.gpusim.openacc import OpenACCModel
+
+__all__ = [
+    "GPUArch",
+    "CPUArch",
+    "GTX980",
+    "K20",
+    "C2050",
+    "HASWELL",
+    "gpu_by_name",
+    "KernelLaunch",
+    "build_launch",
+    "GPUPerformanceModel",
+    "ProgramTiming",
+    "execute_kernel",
+    "execute_program",
+    "CPUPerformanceModel",
+    "OpenACCModel",
+]

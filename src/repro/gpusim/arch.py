@@ -1,0 +1,222 @@
+"""Architecture descriptions for the paper's four evaluation machines.
+
+Numbers are the public specifications of each device (SM counts, clocks,
+bandwidths, occupancy limits); behavioural fudge factors live in
+:mod:`repro.gpusim.calibration`, not here, so this module stays a plain
+datasheet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+
+__all__ = [
+    "GPUArch",
+    "CPUArch",
+    "C2050",
+    "K20",
+    "GTX980",
+    "HASWELL",
+    "ALL_GPUS",
+    "gpu_by_name",
+]
+
+
+@dataclass(frozen=True)
+class GPUArch:
+    """Datasheet of one CUDA device generation."""
+
+    name: str
+    generation: str
+    sm_count: int
+    cores_per_sm: int
+    clock_ghz: float
+    #: double-precision multiply-add results per core per cycle
+    #: (Fermi 1/2, Kepler GK110 1/3 via DP units, Maxwell 1/32).
+    dp_per_core_per_cycle: float
+    warp_size: int
+    max_threads_per_block: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    registers_per_sm: int
+    max_registers_per_thread: int
+    l2_bytes: int
+    dram_bandwidth_gbs: float
+    #: sustained PCIe bandwidth (H2D/D2H) and per-call latency
+    pcie_bandwidth_gbs: float
+    pcie_latency_us: float
+    kernel_launch_us: float
+    #: warps per SM needed to hide pipeline+memory latency on this generation
+    latency_hiding_warps: int
+    #: memory transaction granularity in bytes (128 on Fermi L1 path,
+    #: 32 on Kepler/Maxwell for scattered access)
+    transaction_bytes: int
+    #: aggregate L2 bandwidth relative to DRAM bandwidth
+    l2_bandwidth_ratio: float
+    #: effective integer/address-arithmetic throughput (Gops/s) — small
+    #: tensor kernels spend much of their issue slots on index arithmetic
+    int_gops: float
+    #: achieved fraction of datasheet DRAM bandwidth (ECC, access patterns)
+    dram_efficiency: float
+    #: fraction of intra-block re-accesses that miss the first-level /
+    #: read-only cache and fall through to L2/DRAM
+    cache_miss_fraction: float
+
+    @property
+    def peak_dp_gflops(self) -> float:
+        """Peak double-precision GFlop/s (2 flops per fused multiply-add)."""
+        return (
+            2.0
+            * self.sm_count
+            * self.cores_per_sm
+            * self.dp_per_core_per_cycle
+            * self.clock_ghz
+        )
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.generation})"
+
+
+@dataclass(frozen=True)
+class CPUArch:
+    """Datasheet of the host CPU used for the sequential/OpenMP baselines."""
+
+    name: str
+    cores: int
+    clock_ghz: float
+    #: double-precision flops per cycle per core for scalar code
+    scalar_flops_per_cycle: float
+    #: and for compiler-vectorized (AVX2+FMA) inner loops
+    vector_flops_per_cycle: float
+    l1_bytes: int
+    l2_bytes: int
+    l3_bytes: int
+    dram_bandwidth_gbs: float
+
+    @property
+    def peak_scalar_gflops(self) -> float:
+        return self.clock_ghz * self.scalar_flops_per_cycle
+
+    def __str__(self) -> str:
+        return self.name
+
+
+C2050 = GPUArch(
+    name="Tesla C2050",
+    generation="Fermi",
+    sm_count=14,
+    cores_per_sm=32,
+    clock_ghz=1.15,
+    dp_per_core_per_cycle=0.5,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=8,
+    registers_per_sm=32768,
+    max_registers_per_thread=63,
+    l2_bytes=768 * 1024,
+    dram_bandwidth_gbs=144.0,
+    pcie_bandwidth_gbs=5.2,
+    pcie_latency_us=11.0,
+    kernel_launch_us=8.0,
+    latency_hiding_warps=18,
+    transaction_bytes=128,
+    l2_bandwidth_ratio=1.4,
+    int_gops=380.0,
+    dram_efficiency=0.70,
+    cache_miss_fraction=0.35,
+)
+
+K20 = GPUArch(
+    name="Tesla K20",
+    generation="Kepler",
+    sm_count=13,
+    cores_per_sm=192,
+    clock_ghz=0.706,
+    dp_per_core_per_cycle=1.0 / 3.0,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    l2_bytes=1280 * 1024,
+    dram_bandwidth_gbs=208.0,
+    pcie_bandwidth_gbs=5.6,
+    pcie_latency_us=10.0,
+    kernel_launch_us=6.0,
+    latency_hiding_warps=24,
+    transaction_bytes=32,
+    l2_bandwidth_ratio=1.5,
+    int_gops=420.0,
+    dram_efficiency=0.45,
+    cache_miss_fraction=0.70,
+)
+
+GTX980 = GPUArch(
+    name="GTX 980",
+    generation="Maxwell",
+    sm_count=16,
+    cores_per_sm=128,
+    clock_ghz=1.126,
+    dp_per_core_per_cycle=1.0 / 32.0,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    l2_bytes=2 * 1024 * 1024,
+    dram_bandwidth_gbs=224.0,
+    pcie_bandwidth_gbs=11.5,
+    pcie_latency_us=7.0,
+    kernel_launch_us=4.0,
+    latency_hiding_warps=16,
+    transaction_bytes=32,
+    l2_bandwidth_ratio=3.0,
+    int_gops=900.0,
+    dram_efficiency=0.80,
+    cache_miss_fraction=0.55,
+)
+
+HASWELL = CPUArch(
+    name="Intel Haswell (4-core)",
+    cores=4,
+    clock_ghz=3.4,
+    scalar_flops_per_cycle=2.0,
+    vector_flops_per_cycle=16.0,
+    l1_bytes=32 * 1024,
+    l2_bytes=256 * 1024,
+    l3_bytes=8 * 1024 * 1024,
+    dram_bandwidth_gbs=25.6,
+)
+
+ALL_GPUS: tuple[GPUArch, ...] = (GTX980, K20, C2050)
+
+_GPU_ALIASES = {
+    "gtx980": GTX980,
+    "gtx 980": GTX980,
+    "maxwell": GTX980,
+    "k20": K20,
+    "tesla k20": K20,
+    "kepler": K20,
+    "c2050": C2050,
+    "tesla c2050": C2050,
+    "fermi": C2050,
+}
+
+
+def gpu_by_name(name: str) -> GPUArch:
+    """Look up a GPU by name, codename or generation (case-insensitive)."""
+    key = name.strip().lower()
+    if key in _GPU_ALIASES:
+        return _GPU_ALIASES[key]
+    raise ArchitectureError(
+        f"unknown GPU {name!r}; known: {sorted(set(_GPU_ALIASES))}"
+    )

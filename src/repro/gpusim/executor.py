@@ -1,0 +1,156 @@
+"""Functional execution of mapped kernels — the correctness oracle.
+
+The performance model says how *fast* a configuration is; this module
+checks that the configuration computes the *right thing*.  It interprets a
+:class:`~repro.gpusim.kernel.KernelLaunch` exactly the way the generated
+CUDA executes: iterate the grid, iterate the block, bind the mapped loop
+indices, run the serial loops in the configured order with the configured
+unroll structure (main loop in steps of ``u`` plus a remainder loop), and
+accumulate through a scalar-replaced register before the final store.
+
+It is deliberately a slow, obviously-correct interpreter: tests run it at
+small extents against :func:`numpy.einsum` to certify that *every* point of
+every kernel space computes the same tensor — which is what licenses the
+fast einsum-based evaluation everywhere else.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpusim.kernel import KernelLaunch, build_launch
+from repro.tcr.program import TCRProgram
+from repro.tcr.space import ONE, ProgramConfig
+
+__all__ = ["execute_kernel", "execute_program"]
+
+#: Refuse to interpret anything bigger than this many iteration points.
+MAX_POINTS = 2_000_000
+
+
+def _check_size(launch: KernelLaunch) -> None:
+    points = launch.total_threads * launch.serial_iterations
+    if points > MAX_POINTS:
+        raise SimulationError(
+            f"interpreter asked to execute {points} points (> {MAX_POINTS}); "
+            "use small extents for functional validation"
+        )
+
+
+def execute_kernel(launch: KernelLaunch, env: Mapping[str, np.ndarray]) -> None:
+    """Run one mapped kernel, accumulating into ``env[output]`` in place."""
+    _check_size(launch)
+    op = launch.operation
+    cfg = launch.config
+    out_arr = env[op.output.name]
+    in_arrs = [env[r.name] for r in op.inputs]
+    in_idx = [r.indices for r in op.inputs]
+    out_idx = op.output.indices
+
+    serial = launch.serial_loops
+    red = set(op.reduction_indices)
+    # The innermost serial reduction loop runs with the unroll structure.
+    unrolled_pos = None
+    for pos in range(len(serial) - 1, -1, -1):
+        if serial[pos][0] in red:
+            unrolled_pos = pos
+            break
+    # The accumulator (scalar replacement) is loaded at the deepest level
+    # where the output element is fixed: above the trailing run of serial
+    # loops that are all reductions.
+    split = len(serial)
+    for pos in range(len(serial) - 1, -1, -1):
+        if serial[pos][0] in red:
+            split = pos
+        else:
+            break
+
+    def inner(pos: int, binding: dict[str, int], acc: list[float]) -> None:
+        """Reduction loops below the accumulator, honoring the unroll shape."""
+        if pos == len(serial):
+            term = 1.0
+            for arr, idx in zip(in_arrs, in_idx):
+                term *= arr[tuple(binding[i] for i in idx)]
+            acc[0] += term
+            return
+        index, extent = serial[pos]
+        if pos == unrolled_pos and cfg.unroll > 1:
+            u = cfg.unroll
+            main = extent - extent % u
+            v = 0
+            while v < main:  # main unrolled loop: u copies of the body
+                for step in range(u):
+                    binding[index] = v + step
+                    inner(pos + 1, binding, acc)
+                v += u
+            for step in range(main, extent):  # remainder loop
+                binding[index] = step
+                inner(pos + 1, binding, acc)
+        else:
+            for v in range(extent):
+                binding[index] = v
+                inner(pos + 1, binding, acc)
+        del binding[index]
+
+    def outer(pos: int, binding: dict[str, int]) -> None:
+        """Serial loops above the accumulator (unmapped output indices)."""
+        if pos == split:
+            element = tuple(binding[i] for i in out_idx)
+            acc = [out_arr[element]]  # scalar replacement: one load…
+            inner(pos, binding, acc)
+            out_arr[element] = acc[0]  # …and one store per element
+            return
+        index, extent = serial[pos]
+        for v in range(extent):
+            binding[index] = v
+            outer(pos + 1, binding)
+        del binding[index]
+
+    grid = [(cfg.bx, launch.grid_dim[0]), (cfg.by, launch.grid_dim[1])]
+    block = [(cfg.tx, launch.block_dim[0]), (cfg.ty, launch.block_dim[1])]
+    for bxv, byv, txv, tyv in itertools.product(
+        range(grid[0][1]), range(grid[1][1]), range(block[0][1]), range(block[1][1])
+    ):
+        binding: dict[str, int] = {}
+        for (role, _extent), val in zip(grid + block, (bxv, byv, txv, tyv)):
+            if role != ONE:
+                binding[role] = val
+        outer(0, binding)
+
+
+def execute_program(
+    program: TCRProgram,
+    config: ProgramConfig,
+    inputs: Mapping[str, np.ndarray],
+) -> dict[str, np.ndarray]:
+    """Interpret a whole tuned program (all kernels, device-resident temps).
+
+    Returns every written array (program outputs and temporaries), keyed by
+    name, mirroring :meth:`TCRProgram.evaluate_all`.
+    """
+    if len(config.kernels) != len(program.operations):
+        raise SimulationError(
+            f"{len(config.kernels)} kernel configs for "
+            f"{len(program.operations)} operations"
+        )
+    env: dict[str, np.ndarray] = {}
+    for name in program.input_names:
+        arr = np.asarray(inputs[name], dtype=np.float64)
+        if arr.shape != program.array_shape(name):
+            raise SimulationError(
+                f"input {name!r} has shape {arr.shape}, expected "
+                f"{program.array_shape(name)}"
+            )
+        env[name] = arr
+    for op in program.operations:
+        if op.output.name not in env:
+            env[op.output.name] = np.zeros(program.array_shape(op.output.name))
+    for op, kc in zip(program.operations, config.kernels):
+        launch = build_launch(op, kc, program.dims)
+        execute_kernel(launch, env)
+    written = {op.output.name for op in program.operations}
+    return {name: env[name] for name in written}

@@ -1,0 +1,45 @@
+"""PCIe transfer model.
+
+The paper's results "include the time to transfer data back and forth
+between CPU and device memory" — for the tiny Eqn.(1) computation this is
+exactly what erases the GPU's advantage, so the transfer model matters for
+reproducing Table II's first row.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.arch import GPUArch
+
+__all__ = ["transfer_time", "program_transfer_time"]
+
+_BYTES_PER_ELEMENT = 8  # double precision throughout, as in the paper
+
+
+def transfer_time(arch: GPUArch, elements: int, calls: int = 1) -> float:
+    """Seconds to move ``elements`` doubles over PCIe in ``calls`` copies.
+
+    Each cudaMemcpy pays the per-call latency; bandwidth is the sustained
+    figure from the architecture datasheet.
+    """
+    if elements < 0 or calls < 0:
+        raise ValueError("elements and calls must be non-negative")
+    if elements == 0 or calls == 0:
+        return 0.0
+    bytes_total = elements * _BYTES_PER_ELEMENT
+    return calls * arch.pcie_latency_us * 1e-6 + bytes_total / (
+        arch.pcie_bandwidth_gbs * 1e9
+    )
+
+
+def program_transfer_time(
+    arch: GPUArch, h2d_elements: int, d2h_elements: int, h2d_calls: int, d2h_calls: int = 1
+) -> tuple[float, float]:
+    """(host-to-device, device-to-host) seconds for a whole program.
+
+    Inputs are copied up once per input array (one call each); temporaries
+    stay resident; the final output comes back in one copy.
+    """
+    return (
+        transfer_time(arch, h2d_elements, h2d_calls),
+        transfer_time(arch, d2h_elements, d2h_calls),
+    )

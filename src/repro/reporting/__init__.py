@@ -1,0 +1,21 @@
+"""Regeneration of the paper's tables and figures (paper-vs-measured)."""
+
+from repro.reporting.experiments import (
+    ExperimentReport,
+    table1_report,
+    table2_report,
+    table3_report,
+    table4_report,
+    figure3_report,
+    intext_report,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "table1_report",
+    "table2_report",
+    "table3_report",
+    "table4_report",
+    "figure3_report",
+    "intext_report",
+]

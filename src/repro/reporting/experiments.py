@@ -1,0 +1,385 @@
+"""One function per paper table/figure, returning data + rendered text.
+
+Every function runs the *whole* pipeline (OCTOPI -> TCR -> SURF -> simulator)
+at configurable budgets, so the benchmark harness, the CLI and
+EXPERIMENTS.md all share a single source of truth.  Paper-reported values
+are carried alongside the measurements for direct comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.autotune import Autotuner
+from repro.apps.nekbone import NekbonePerformance, NekboneProblem
+from repro.core.pipeline import compile_contraction
+from repro.gpusim.arch import ALL_GPUS, C2050, GTX980, K20, GPUArch
+from repro.gpusim.cpu import CPUPerformanceModel
+from repro.gpusim.openacc import OpenACCModel
+from repro.gpusim.perfmodel import GPUPerformanceModel
+from repro.surf import ConfigurationEvaluator, ExhaustiveSearch, SURFSearch
+from repro.tcr.decision import decide_search_space
+from repro.tcr.space import TuningSpace
+from repro.util.rng import spawn_rng
+from repro.util.tables import format_bar_chart, format_table
+from repro.workloads import TABLE1, eqn1, lg3, lg3t, nwchem_family, tce_ex
+
+__all__ = [
+    "ExperimentReport",
+    "table1_report",
+    "table2_report",
+    "table3_report",
+    "table4_report",
+    "figure3_report",
+    "intext_report",
+]
+
+
+@dataclass
+class ExperimentReport:
+    """Rendered text plus structured data for one experiment."""
+
+    key: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+# ----------------------------------------------------------------------
+# Table I — benchmark inventory
+# ----------------------------------------------------------------------
+def table1_report() -> ExperimentReport:
+    rows = [(name, desc) for name, desc in TABLE1]
+    text = format_table(
+        ["Name", "Description"], rows, title="Table I: benchmarks used in this study"
+    )
+    return ExperimentReport("table1", "Benchmarks", text, {"rows": rows})
+
+
+# ----------------------------------------------------------------------
+# Table II — individual tensor contractions
+# ----------------------------------------------------------------------
+_TABLE2_PAPER = {
+    "eqn1": {"speedup": 0.63, "GTX 980": 1.99, "Tesla K20": 1.42, "Tesla C2050": 1.89,
+             "search": 3556.0},
+    "lg3": {"speedup": 23.74, "GTX 980": 42.74, "Tesla K20": 41.52, "Tesla C2050": 42.47,
+            "search": 324.8},
+    "lg3t": {"speedup": 22.87, "GTX 980": 41.11, "Tesla K20": 38.38, "Tesla C2050": 34.99,
+             "search": 356.9},
+    "tce_ex": {"speedup": 29.77, "GTX 980": 42.72, "Tesla K20": 17.82, "Tesla C2050": 14.25,
+               "search": 276.6},
+}
+
+
+def _tuner(arch: GPUArch, evals: int, pool: int, seed: int, per_variant: bool = False) -> Autotuner:
+    return Autotuner(
+        arch,
+        max_evaluations=evals,
+        batch_size=10,
+        pool_size=pool,
+        seed=seed,
+        per_variant=per_variant,
+    )
+
+
+def table2_report(
+    evals: int = 100, pool: int = 2500, seed: int = 1, archs=ALL_GPUS
+) -> ExperimentReport:
+    """Speedup over sequential Haswell, GFlops per GPU, SURF search time.
+
+    Two speedup bases are reported because the paper's own accounting mixes
+    them: its speedup column equals GFlops/seq-GFlops exactly (kernel-only,
+    "device"), yet the Eqn.(1) discussion attributes the slowdown to PCIe
+    copies (total time, "e2e").  We print both; the qualitative claims hold
+    on the appropriate basis (Eqn.(1) loses end-to-end; the batched kernels
+    win by >10x on device rate).  Contraction workloads are tuned per
+    OCTOPI variant (the paper sends every version to autotuning), which is
+    why Eqn.(1)'s 15 variants make its search the longest.
+    """
+    cpu = CPUPerformanceModel()
+    rows = []
+    data: dict[str, dict] = {}
+    for wl in (eqn1(), lg3(), lg3t(), tce_ex()):
+        seq = cpu.sequential_timing(wl.reference_program())
+        per_arch: dict[str, tuple[float, float, float]] = {}
+        for arch in archs:
+            result = wl.tune(_tuner(arch, evals, pool, seed, per_variant=wl.kind == "contraction"))
+            per_arch[arch.name] = (
+                result.timing.device_gflops,
+                result.search_seconds,
+                result.timing.total_s,
+            )
+        lead = archs[0].name
+        device_speedup = per_arch[lead][0] / seq.gflops if seq.gflops > 0 else float("nan")
+        e2e_speedup = seq.total_s / per_arch[lead][2] if per_arch[lead][2] > 0 else float("nan")
+        paper = _TABLE2_PAPER.get(wl.name, {})
+        row = [
+            wl.name,
+            f"{device_speedup:.2f}x",
+            f"{e2e_speedup:.2f}x",
+            f"{paper.get('speedup', float('nan')):.2f}x",
+        ]
+        for arch in archs:
+            g, s, _t = per_arch[arch.name]
+            row += [g, paper.get(arch.name, float("nan")), f"{s:.0f}s"]
+        rows.append(row)
+        data[wl.name] = {
+            "seq_gflops": seq.gflops,
+            "speedup_device": device_speedup,
+            "speedup_e2e": e2e_speedup,
+            "per_arch": per_arch,
+            "paper": paper,
+        }
+    headers = ["Benchmark", "Speedup(dev)", "Speedup(e2e)", "(paper)"]
+    for arch in archs:
+        headers += [f"{arch.name} GF", "(paper)", "Search"]
+    text = format_table(headers, rows, title="Table II: individual tensor contractions")
+    return ExperimentReport("table2", "Individual contractions", text, data)
+
+
+# ----------------------------------------------------------------------
+# Table III — Nekbone, OpenACC vs Barracuda
+# ----------------------------------------------------------------------
+_TABLE3_PAPER = {
+    "Tesla K20": {"naive": 2.86, "optimized": 12.39, "barracuda": 36.47},
+    "Tesla C2050": {"naive": 1.18, "optimized": 19.21, "barracuda": 34.65},
+}
+
+
+def table3_report(
+    evals: int = 100,
+    pool: int = 2500,
+    seed: int = 1,
+    elements: int = 512,
+    n: int = 12,
+) -> ExperimentReport:
+    """Nekbone GFlops: naive/optimized OpenACC vs Barracuda (K20, C2050).
+
+    PGI 14.3 cannot target the GTX 980, so — like the paper — only the
+    Kepler and Fermi parts appear.
+    """
+    problem = NekboneProblem(elements=elements, n=n)
+    perf = NekbonePerformance(problem)
+    rows = []
+    data: dict[str, dict] = {}
+    for arch in (K20, C2050):
+        tuner = _tuner(arch, evals, pool, seed)
+        tuned3 = lg3(n, elements).tune(tuner)
+        tuned3t = lg3t(n, elements).tune(tuner)
+        naive = perf.openacc_gflops(arch, "naive")
+        optimized = perf.openacc_gflops(arch, "optimized", tuned3, tuned3t)
+        barracuda = perf.barracuda_gflops(arch, tuned3, tuned3t)
+        paper = _TABLE3_PAPER[arch.name]
+        rows.append(
+            [arch.name, naive, paper["naive"], optimized, paper["optimized"],
+             barracuda, paper["barracuda"]]
+        )
+        data[arch.name] = {
+            "naive": naive,
+            "optimized": optimized,
+            "barracuda": barracuda,
+            "paper": paper,
+        }
+    text = format_table(
+        ["GPU", "ACC naive", "(paper)", "ACC optimized", "(paper)", "Barracuda", "(paper)"],
+        rows,
+        title="Table III: Nekbone, OpenACC vs Barracuda (GFlops)",
+    )
+    return ExperimentReport("table3", "Nekbone OpenACC comparison", text, data)
+
+
+# ----------------------------------------------------------------------
+# Table IV — OpenMP vs Barracuda
+# ----------------------------------------------------------------------
+_TABLE4_PAPER = {
+    "nekbone": (7.79, 23.97, 35.70),
+    "s1": (2.47, 2.61, 16.14),
+    "d1": (3.90, 25.29, 115.37),
+    "d2": (5.60, 14.90, 50.00),
+}
+
+
+def table4_report(
+    evals: int = 100,
+    pool: int = 2500,
+    seed: int = 1,
+    arch: GPUArch = GTX980,
+    elements: int = 512,
+    n_nekbone: int = 12,
+    n_nwchem: int = 16,
+) -> ExperimentReport:
+    """Nekbone + NWChem: 1-core, 4-core OpenMP, and Barracuda GFlops."""
+    cpu = CPUPerformanceModel()
+    rows = []
+    data: dict[str, dict] = {}
+
+    problem = NekboneProblem(elements=elements, n=n_nekbone)
+    perf = NekbonePerformance(problem, cpu)
+    tuner = _tuner(arch, evals, pool, seed)
+    tuned3 = lg3(n_nekbone, elements).tune(tuner)
+    tuned3t = lg3t(n_nekbone, elements).tune(tuner)
+    entries = [
+        (
+            "nekbone",
+            perf.sequential_gflops(),
+            perf.openmp_gflops(),
+            perf.barracuda_gflops(arch, tuned3, tuned3t),
+        )
+    ]
+
+    for family in ("s1", "d1", "d2"):
+        kernels = nwchem_family(family, n_nwchem)
+        seq_f = sum(w.program.flops() for w in kernels)
+        seq_t = sum(
+            cpu.sequential_timing(w.program, tuned=True).total_s for w in kernels
+        )
+        omp_t = sum(
+            cpu.openmp_timing(w.program, tuned=True).total_s for w in kernels
+        )
+        results = [w.tune(_tuner(arch, evals, pool, seed)) for w in kernels]
+        gpu_t = sum(r.timing.kernel_s for r in results)
+        entries.append(
+            (family, seq_f / seq_t / 1e9, seq_f / omp_t / 1e9, seq_f / gpu_t / 1e9)
+        )
+
+    for name, seq, omp, barr in entries:
+        paper = _TABLE4_PAPER[name]
+        rows.append([name, seq, paper[0], omp, paper[1], barr, paper[2]])
+        data[name] = {
+            "seq": seq,
+            "openmp": omp,
+            "barracuda": barr,
+            "paper": paper,
+        }
+    text = format_table(
+        ["Benchmark", "1 core", "(paper)", "OpenMP 4", "(paper)", "Barracuda", "(paper)"],
+        rows,
+        title=f"Table IV: OpenMP vs Barracuda ({arch.name}, GFlops)",
+    )
+    return ExperimentReport("table4", "OpenMP comparison", text, data)
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — NWChem speedups over naive OpenACC
+# ----------------------------------------------------------------------
+def figure3_report(
+    families=("d1", "d2", "s1"),
+    archs=(C2050, K20),
+    evals: int = 100,
+    pool: int = 2500,
+    seed: int = 1,
+    n: int = 16,
+) -> ExperimentReport:
+    """Per-kernel speedup of Barracuda and optimized OpenACC over naive
+    OpenACC, for each NWChem kernel on the Fermi and Kepler parts."""
+    sections: list[str] = []
+    data: dict[str, dict] = {}
+    for family in families:
+        kernels = nwchem_family(family, n)
+        labels = [w.name for w in kernels]
+        series: dict[str, list[float]] = {}
+        fam_data: dict[str, dict[str, list[float]]] = {}
+        for arch in archs:
+            acc = OpenACCModel(GPUPerformanceModel(arch))
+            barr, opt = [], []
+            for wl in kernels:
+                result = wl.tune(_tuner(arch, evals, pool, seed))
+                naive_t = acc.naive_timing(wl.program).kernel_s
+                opt_t = acc.optimized_timing(wl.program, result.best_config).kernel_s
+                barr.append(naive_t / result.timing.kernel_s)
+                opt.append(naive_t / opt_t)
+            series[f"Barracuda {arch.generation}"] = barr
+            series[f"OpenACC  {arch.generation}"] = opt
+            fam_data[arch.name] = {"barracuda": barr, "openacc": opt}
+        sections.append(
+            format_bar_chart(
+                labels,
+                series,
+                title=f"Figure 3 ({family.upper()}): speedup over naive OpenACC",
+                unit="x",
+            )
+        )
+        data[family] = fam_data
+    return ExperimentReport(
+        "figure3", "NWChem speedups over naive OpenACC", "\n\n".join(sections), data
+    )
+
+
+# ----------------------------------------------------------------------
+# In-text claims
+# ----------------------------------------------------------------------
+def intext_report(
+    evals: int = 100, pool: int = 2500, seed: int = 1
+) -> ExperimentReport:
+    """The quantitative claims made in the running text of the paper:
+
+    * Eqn.(1) has 15 OCTOPI variants, 6 of them with equal (minimal) flops;
+    * the minimal-flop versions differ by single-digit percent on a GTX 980;
+    * Lg3t's tuning space has ~512,000 points; SURF's 100 evaluations take
+      minutes, while full enumeration would take ~weeks;
+    * SURF matches a brute-force search of the same pool.
+    """
+    lines: list[str] = []
+    data: dict[str, object] = {}
+
+    compiled = compile_contraction(eqn1().contraction)
+    n_var = len(compiled.variants)
+    minimal = compiled.minimal_flop_variants()
+    lines.append(f"Eqn.(1) OCTOPI variants: {n_var} (paper: 15)")
+    lines.append(f"Minimal-flop variants: {len(minimal)} (paper: 6)")
+    data["eqn1_variants"] = n_var
+    data["eqn1_minimal"] = len(minimal)
+
+    # Spread among the equal-flop versions on the GTX 980.
+    bests = []
+    for variant in minimal:
+        tuner = _tuner(GTX980, evals, pool, seed)
+        r = tuner.tune_program(variant.program)
+        bests.append(r.timing.kernel_s)
+    spread = (max(bests) - min(bests)) / min(bests) * 100.0
+    lines.append(
+        f"Performance spread among equal-flop versions: {spread:.1f}% (paper: up to 9%)"
+    )
+    data["eqn1_spread_pct"] = spread
+
+    # Lg3t space size and search-vs-enumeration wall-clock.
+    wl = lg3t()
+    space = TuningSpace([decide_search_space(wl.program)])
+    tuner = _tuner(GTX980, evals, pool, seed)
+    result = wl.tune(tuner)
+    per_eval = result.search_seconds / max(1, result.search.evaluations)
+    enumeration_days = space.size() * per_eval / 86400.0
+    lines.append(f"Lg3t tuning space: {space.size()} points (paper: 512,000)")
+    lines.append(
+        f"SURF: {result.search.evaluations} evaluations in "
+        f"{result.search_seconds / 60:.1f} simulated minutes (paper: ~7 min); "
+        f"full enumeration would take ~{enumeration_days:.0f} days (paper: ~23)"
+    )
+    data["lg3t_space"] = space.size()
+    data["surf_minutes"] = result.search_seconds / 60
+    data["enumeration_days"] = enumeration_days
+
+    # SURF vs brute force on one shared pool.
+    program = wl.program
+    ts = TuningSpace([decide_search_space(program)])
+    shared_pool = ts.sample_pool(min(1500, ts.size()), spawn_rng(seed, "intext-pool"))
+    model = GPUPerformanceModel(GTX980)
+    surf_ev = ConfigurationEvaluator([program], model, seed=seed)
+    surf_res = SURFSearch(batch_size=10, max_evaluations=evals, seed=seed).search(
+        shared_pool, surf_ev.evaluate_batch
+    )
+    brute_ev = ConfigurationEvaluator([program], model, seed=seed)
+    brute_res = ExhaustiveSearch(batch_size=50).search(shared_pool, brute_ev.evaluate_batch)
+    gap = (surf_res.best_objective / brute_res.best_objective - 1.0) * 100.0
+    lines.append(
+        f"SURF best vs brute force over the same pool: {gap:+.1f}% "
+        f"({surf_res.evaluations} vs {brute_res.evaluations} evaluations)"
+    )
+    data["surf_vs_brute_pct"] = gap
+
+    return ExperimentReport(
+        "intext", "In-text claims", "\n".join(lines), data
+    )

@@ -1,0 +1,30 @@
+"""SURF — Search Using Random Forest (the paper's Section V).
+
+Model-based search over the TCR parameter space: sample a batch, evaluate,
+fit a surrogate (extremely randomized trees over binarized categorical
+features), then iterate predict → select the most promising batch →
+evaluate → retrain, up to ``nmax`` evaluations (Algorithm 2).
+
+scikit-learn is not available in this environment, so the surrogate
+(:mod:`repro.surf.forest`) is implemented from scratch on numpy, following
+Geurts, Ernst & Wehenkel's "Extremely randomized trees" (the paper's [12]).
+"""
+
+from repro.surf.binarize import FeatureBinarizer
+from repro.surf.tree import ExtraTreeRegressor
+from repro.surf.forest import ExtraTreesRegressor
+from repro.surf.search import SURFSearch, SearchResult
+from repro.surf.random_search import RandomSearch
+from repro.surf.exhaustive import ExhaustiveSearch
+from repro.surf.evaluator import ConfigurationEvaluator
+
+__all__ = [
+    "FeatureBinarizer",
+    "ExtraTreeRegressor",
+    "ExtraTreesRegressor",
+    "SURFSearch",
+    "SearchResult",
+    "RandomSearch",
+    "ExhaustiveSearch",
+    "ConfigurationEvaluator",
+]

@@ -1,0 +1,96 @@
+"""Empirical-evaluation stand-in: scoring configurations on the simulator.
+
+In the paper, evaluating a configuration means generating CUDA through
+CUDA-CHiLL, compiling with nvcc, and timing 100 repetitions on the GPU.
+Here it means asking :class:`~repro.gpusim.perfmodel.GPUPerformanceModel`
+for the modeled time (plus measurement noise).  The evaluator also keeps
+the books the paper reports: how many evaluations were spent and how much
+*wall-clock search time* they would have cost on the real toolchain
+(Table II's "Search" column).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+from repro.gpusim.perfmodel import GPUPerformanceModel
+from repro.tcr.program import TCRProgram
+from repro.tcr.space import ProgramConfig
+from repro.util.rng import spawn_rng
+
+__all__ = ["ConfigurationEvaluator", "PENALTY_SECONDS"]
+
+#: Objective assigned to configurations the backend cannot build (e.g. a
+#: block too large for the device).  Far above any real kernel time so the
+#: search learns to avoid the region, but finite so surrogate fitting works.
+PENALTY_SECONDS = 10.0
+
+
+class ConfigurationEvaluator:
+    """Maps :class:`ProgramConfig` points to objective values (seconds).
+
+    Parameters
+    ----------
+    programs:
+        The TCR program of each OCTOPI variant, indexed by
+        ``config.variant_index``.
+    model:
+        The device timing model.
+    seed:
+        Seed for measurement noise (each evaluation gets an independent
+        substream keyed on the configuration, so repeated evaluation of the
+        same point is itself reproducible).
+    noisy:
+        Disable to make the objective exactly deterministic.
+    batch_parallelism:
+        How many concurrent empirical evaluations the rig supports (the
+        paper evaluates each SURF batch "in parallel"); affects only the
+        simulated wall-clock accounting, not the results.
+    """
+
+    def __init__(
+        self,
+        programs: Sequence[TCRProgram],
+        model: GPUPerformanceModel,
+        seed: int = 0,
+        noisy: bool = True,
+        include_transfer: bool = True,
+        batch_parallelism: int = 1,
+    ) -> None:
+        self.programs = list(programs)
+        self.model = model
+        self.seed = seed
+        self.noisy = noisy
+        self.include_transfer = include_transfer
+        self.batch_parallelism = max(1, batch_parallelism)
+        self.evaluation_count = 0
+        self.simulated_wall_seconds = 0.0
+
+    def program_for(self, config: ProgramConfig) -> TCRProgram:
+        return self.programs[config.variant_index]
+
+    def evaluate(self, config: ProgramConfig) -> float:
+        """Objective for one configuration (seconds; penalty when illegal)."""
+        self.evaluation_count += 1
+        program = self.program_for(config)
+        try:
+            rng = (
+                spawn_rng(self.seed, "measure", config.variant_index, config.global_id,
+                          config.describe())
+                if self.noisy
+                else None
+            )
+            value = self.model.evaluate(
+                program, config, rng=rng, include_transfer=self.include_transfer
+            )
+            wall = self.model.evaluation_wall_seconds(program, config)
+        except ConfigurationError:
+            value = PENALTY_SECONDS
+            wall = self.model.cal.compile_seconds  # it failed at build time
+        self.simulated_wall_seconds += wall / self.batch_parallelism
+        return value
+
+    def evaluate_batch(self, configs: Sequence[ProgramConfig]) -> list[float]:
+        """Algorithm 2's ``Evaluate_Parallel``: score a batch of points."""
+        return [self.evaluate(c) for c in configs]

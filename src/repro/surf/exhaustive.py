@@ -1,0 +1,57 @@
+"""Brute-force enumeration baseline.
+
+The paper's earlier work [25] tuned a smaller, pruned space exhaustively;
+Section VI compares SURF against it ("comparable to and sometimes better
+than the prior brute force search").  This searcher evaluates an entire
+pool (optionally capped) so benches can make the same comparison on spaces
+small enough to enumerate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.surf.search import SearchResult
+from repro.tcr.space import ProgramConfig
+
+__all__ = ["ExhaustiveSearch"]
+
+
+class ExhaustiveSearch:
+    """Evaluate every configuration in the pool (up to ``limit``)."""
+
+    name = "exhaustive"
+
+    def __init__(self, batch_size: int = 10, limit: int | None = None) -> None:
+        if batch_size < 1:
+            raise SearchError("batch size must be >= 1")
+        self.batch_size = batch_size
+        self.limit = limit
+
+    def search(
+        self,
+        pool: Sequence[ProgramConfig],
+        evaluate_batch: Callable[[Sequence[ProgramConfig]], list[float]],
+        wall_seconds: Callable[[], float] | None = None,
+    ) -> SearchResult:
+        if not pool:
+            raise SearchError("configuration pool is empty")
+        stop = len(pool) if self.limit is None else min(self.limit, len(pool))
+        history: list[tuple[ProgramConfig, float]] = []
+        for start in range(0, stop, self.batch_size):
+            configs = list(pool[start : min(start + self.batch_size, stop)])
+            for cfg, y in zip(configs, evaluate_batch(configs)):
+                history.append((cfg, float(y)))
+        ys = np.array([y for _c, y in history])
+        best_i = int(np.argmin(ys))
+        return SearchResult(
+            searcher=self.name,
+            best_config=history[best_i][0],
+            best_objective=history[best_i][1],
+            history=history,
+            evaluations=len(history),
+            simulated_wall_seconds=wall_seconds() if wall_seconds else 0.0,
+        )

@@ -1,0 +1,97 @@
+"""Ensemble of extremely randomized trees (the SURF surrogate model).
+
+"We deploy statistical machine learning methods for building surrogate
+models.  In particular, we choose randomized trees, … due to their ability
+to handle the binarized parameters using recursive partitioning and to
+model nonlinear interactions among the parameters."  (Section V)
+
+The ensemble averages :class:`~repro.surf.tree.ExtraTreeRegressor`
+predictions; each tree gets an independent substream of the forest's
+generator, so fits are reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.surf.tree import ExtraTreeRegressor
+from repro.util.rng import spawn_rng
+
+__all__ = ["ExtraTreesRegressor"]
+
+
+class ExtraTreesRegressor:
+    """Averaged extremely-randomized-trees regressor.
+
+    Parameters
+    ----------
+    n_estimators:
+        Ensemble size.
+    max_features:
+        Features examined per split in each tree (``None`` = all).
+    min_samples_split, max_depth:
+        Passed to every tree.
+    seed:
+        Base seed; tree ``i`` uses an independent derived stream.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_features: int | None = None,
+        min_samples_split: int = 2,
+        max_depth: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise SearchError("need at least one tree")
+        self.n_estimators = n_estimators
+        self.max_features = max_features
+        self.min_samples_split = min_samples_split
+        self.max_depth = max_depth
+        self.seed = seed
+        self._trees: list[ExtraTreeRegressor] = []
+        self._fit_count = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ExtraTreesRegressor":
+        """(Re)fit the whole ensemble; refits advance the random streams."""
+        self._trees = []
+        for i in range(self.n_estimators):
+            tree = ExtraTreeRegressor(
+                max_features=self.max_features,
+                min_samples_split=self.min_samples_split,
+                max_depth=self.max_depth,
+                rng=spawn_rng(self.seed, "tree", i, "refit", self._fit_count),
+            )
+            tree.fit(X, y)
+            self._trees.append(tree)
+        self._fit_count += 1
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise SearchError("forest has not been fit")
+        X = np.asarray(X, dtype=np.float64)
+        acc = np.zeros(X.shape[0])
+        for tree in self._trees:
+            acc += tree.predict(X)
+        return acc / len(self._trees)
+
+    def predict_std(self, X: np.ndarray) -> np.ndarray:
+        """Cross-tree standard deviation (a cheap uncertainty proxy)."""
+        if not self._trees:
+            raise SearchError("forest has not been fit")
+        X = np.asarray(X, dtype=np.float64)
+        preds = np.stack([t.predict(X) for t in self._trees])
+        return preds.std(axis=0)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R^2 on (X, y)."""
+        y = np.asarray(y, dtype=np.float64)
+        pred = self.predict(X)
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        if ss_tot == 0.0:
+            return 1.0 if ss_res == 0.0 else 0.0
+        return 1.0 - ss_res / ss_tot

@@ -1,0 +1,184 @@
+"""A single extremely randomized regression tree (Geurts et al., 2006).
+
+The surrogate's base learner.  At every internal node, ``max_features``
+candidate features are drawn at random; for each, a cut-point is drawn
+*uniformly at random* between the feature's min and max at that node (this
+is what distinguishes Extra-Trees from classic random forests); the
+candidate with the largest variance reduction wins.  Leaves predict the
+mean of their samples.
+
+Implementation notes: the tree is built recursively on numpy index masks
+and then flattened into parallel arrays so prediction is a vectorized
+loop over depth rather than per-sample Python recursion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SearchError
+
+__all__ = ["ExtraTreeRegressor"]
+
+
+class ExtraTreeRegressor:
+    """One extremely randomized tree.
+
+    Parameters
+    ----------
+    max_features:
+        Number of features examined per split; ``None`` means all (the
+        Extra-Trees default for regression).
+    min_samples_split:
+        Nodes smaller than this become leaves.
+    max_depth:
+        Hard depth cap (``None`` = unlimited).
+    rng:
+        Numpy generator supplying all randomness (injected for determinism).
+    """
+
+    def __init__(
+        self,
+        max_features: int | None = None,
+        min_samples_split: int = 2,
+        max_depth: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.max_features = max_features
+        self.min_samples_split = min_samples_split
+        self.max_depth = max_depth
+        self.rng = rng if rng is not None else np.random.default_rng()
+        # Flattened tree arrays, filled by fit():
+        self._feature: np.ndarray | None = None  # split feature, -1 for leaf
+        self._threshold: np.ndarray | None = None
+        self._left: np.ndarray | None = None
+        self._right: np.ndarray | None = None
+        self._value: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ExtraTreeRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise SearchError(
+                f"bad training shapes X{X.shape} y{y.shape}"
+            )
+        if X.shape[0] == 0:
+            raise SearchError("cannot fit a tree on zero samples")
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+
+        def new_node() -> int:
+            feature.append(-1)
+            threshold.append(0.0)
+            left.append(-1)
+            right.append(-1)
+            value.append(0.0)
+            return len(feature) - 1
+
+        def build(indices: np.ndarray, depth: int) -> int:
+            node = new_node()
+            y_node = y[indices]
+            value[node] = float(y_node.mean())
+            if (
+                len(indices) < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or np.all(y_node == y_node[0])
+            ):
+                return node
+            split = self._draw_split(X[indices], y_node)
+            if split is None:
+                return node
+            f, t = split
+            mask = X[indices, f] <= t
+            left_idx = indices[mask]
+            right_idx = indices[~mask]
+            if len(left_idx) == 0 or len(right_idx) == 0:
+                return node
+            feature[node] = f
+            threshold[node] = t
+            left[node] = build(left_idx, depth + 1)
+            right[node] = build(right_idx, depth + 1)
+            return node
+
+        build(np.arange(X.shape[0]), 0)
+        self._feature = np.array(feature, dtype=np.int64)
+        self._threshold = np.array(threshold)
+        self._left = np.array(left, dtype=np.int64)
+        self._right = np.array(right, dtype=np.int64)
+        self._value = np.array(value)
+        return self
+
+    def _draw_split(
+        self, X_node: np.ndarray, y_node: np.ndarray
+    ) -> tuple[int, float] | None:
+        """Pick the best of K random (feature, uniform threshold) candidates."""
+        n, d = X_node.shape
+        lo = X_node.min(axis=0)
+        hi = X_node.max(axis=0)
+        usable = np.flatnonzero(hi > lo)  # constant features cannot split
+        if usable.size == 0:
+            return None
+        k = usable.size if self.max_features is None else min(self.max_features, usable.size)
+        candidates = self.rng.choice(usable, size=k, replace=False)
+        total_var = y_node.var() * n
+        best: tuple[int, float] | None = None
+        best_score = -np.inf
+        for f in candidates:
+            t = float(self.rng.uniform(lo[f], hi[f]))
+            mask = X_node[:, f] <= t
+            nl = int(mask.sum())
+            if nl == 0 or nl == n:
+                continue
+            yl = y_node[mask]
+            yr = y_node[~mask]
+            score = total_var - (yl.var() * nl + yr.var() * (n - nl))
+            if score > best_score:
+                best_score = score
+                best = (int(f), t)
+        return best
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._feature is None:
+            raise SearchError("tree has not been fit")
+        X = np.asarray(X, dtype=np.float64)
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        # Iterate until every sample sits at a leaf; depth-bounded loop keeps
+        # prediction vectorized.
+        while True:
+            feats = self._feature[nodes]
+            active = feats >= 0
+            if not active.any():
+                break
+            idx = np.flatnonzero(active)
+            f = feats[idx]
+            go_left = X[idx, f] <= self._threshold[nodes[idx]]
+            nodes[idx] = np.where(
+                go_left, self._left[nodes[idx]], self._right[nodes[idx]]
+            )
+        return self._value[nodes]
+
+    @property
+    def node_count(self) -> int:
+        if self._feature is None:
+            return 0
+        return len(self._feature)
+
+    @property
+    def depth(self) -> int:
+        """Maximum depth of the fitted tree (0 = a single leaf)."""
+        if self._feature is None:
+            raise SearchError("tree has not been fit")
+        depths = {0: 0}
+        best = 0
+        for node in range(self.node_count):
+            d = depths[node]
+            best = max(best, d)
+            if self._feature[node] >= 0:
+                depths[int(self._left[node])] = d + 1
+                depths[int(self._right[node])] = d + 1
+        return best

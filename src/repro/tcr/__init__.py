@@ -1,0 +1,29 @@
+"""TCR — Tensor Contraction Representation (the paper's stage 2).
+
+This subpackage hosts the intermediate representation between OCTOPI's
+algebraic variants and GPU code: the TCR program format (Fig. 2b), loop-nest
+construction and the domain-specific dependence analysis, the contiguous-
+tensor/coalescing analysis, the GPU decision algorithm that produces the
+autotuning search space (Fig. 2c), and the C / CUDA code generators
+(Fig. 2d).
+"""
+
+from repro.tcr.program import TCROperation, TCRProgram
+from repro.tcr.loopnest import LoopNest, build_loop_nest
+from repro.tcr.memory import contiguous_tensors, access_analysis
+from repro.tcr.decision import decide_search_space
+from repro.tcr.space import KernelSpace, ProgramSpace, KernelConfig, ProgramConfig
+
+__all__ = [
+    "TCROperation",
+    "TCRProgram",
+    "LoopNest",
+    "build_loop_nest",
+    "contiguous_tensors",
+    "access_analysis",
+    "decide_search_space",
+    "KernelSpace",
+    "ProgramSpace",
+    "KernelConfig",
+    "ProgramConfig",
+]

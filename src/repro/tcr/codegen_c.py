@@ -1,0 +1,127 @@
+"""Sequential C code generation from TCR programs.
+
+Produces the loop nests shown in the middle of the paper's Fig. 2 — the
+input CUDA-CHiLL transforms — with row-major linearized subscripts
+(``access: linearize``).  Supports the fused form OCTOPI's loop-fusion
+analysis selects, so the generated C matches the pseudocode progression of
+Section III (naive nest → strength-reduced nests → fused nests).
+
+The output is compilable C (given ``double`` array declarations); tests
+lock its shape with golden files and cross-check its semantics against the
+numpy evaluation by interpreting the same schedule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.fusion import FusionPlan, fusion_plan
+from repro.core.tensor import TensorRef
+from repro.tcr.program import TCROperation, TCRProgram
+
+__all__ = ["linearized_subscript", "generate_c", "generate_c_fused", "generate_naive_c"]
+
+_INDENT = "  "
+
+
+def linearized_subscript(
+    ref: TensorRef, layout: Sequence[str], dims: Mapping[str, int]
+) -> str:
+    """Row-major flat subscript, e.g. ``A[l*K + k]`` -> ``"l*K + k"``.
+
+    ``layout`` gives the declared axis order (extent symbols); the access
+    binds ``ref.indices`` to those axes positionally.
+    """
+    parts: list[str] = []
+    stride = 1
+    strides: list[int] = []
+    for axis in reversed(layout):
+        strides.append(stride)
+        stride *= dims[axis]
+    strides.reverse()
+    for pos, idx in enumerate(ref.indices):
+        if strides[pos] == 1:
+            parts.append(idx)
+        else:
+            parts.append(f"{idx}*{strides[pos]}")
+    return " + ".join(parts) if parts else "0"
+
+
+def _statement(op: TCROperation, program: TCRProgram) -> str:
+    out = f"{op.output.name}[{linearized_subscript(op.output, program.arrays[op.output.name], program.dims)}]"
+    factors = " * ".join(
+        f"{r.name}[{linearized_subscript(r, program.arrays[r.name], program.dims)}]"
+        for r in op.inputs
+    )
+    return f"{out} += {factors};"
+
+
+def _loops(indices: Sequence[str], dims: Mapping[str, int], depth: int, body: list[str]) -> list[str]:
+    lines: list[str] = []
+    for n, idx in enumerate(indices):
+        lines.append(
+            _INDENT * (depth + n)
+            + f"for ({idx} = 0; {idx} < {dims[idx]}; {idx}++)"
+            + " {"
+        )
+    inner = depth + len(indices)
+    lines.extend(_INDENT * inner + b for b in body)
+    for n in range(len(indices) - 1, -1, -1):
+        lines.append(_INDENT * (depth + n) + "}")
+    return lines
+
+
+def _decl_line(program: TCRProgram) -> str:
+    indices = sorted({i for op in program.operations for i in op.all_indices})
+    return f"int {', '.join(indices)};"
+
+
+def generate_c(program: TCRProgram) -> str:
+    """One loop nest per operation, default order (outputs then reductions)."""
+    lines = [f"/* {program.name}: sequential reference (unfused) */", _decl_line(program)]
+    for op in program.operations:
+        order = op.output.indices + op.reduction_indices
+        lines.extend(_loops(order, program.dims, 0, [_statement(op, program)]))
+    return "\n".join(lines)
+
+
+def generate_c_fused(program: TCRProgram, plan: FusionPlan | None = None) -> str:
+    """Fused loop nests per the OCTOPI fusion plan (Section III).
+
+    Each fusion group shares its outer loops; member operations keep their
+    remaining loops as inner nests, in program order — the structure shown
+    in the paper's fused pseudocode for Eqn.(1).
+    """
+    if plan is None:
+        plan = fusion_plan(program)
+    lines = [f"/* {program.name}: sequential, fused */", _decl_line(program)]
+    for group in plan.groups:
+        members = program.operations[group.start : group.stop]
+        if len(members) == 1:
+            op = members[0]
+            order = op.output.indices + op.reduction_indices
+            lines.extend(_loops(order, program.dims, 0, [_statement(op, program)]))
+            continue
+        shared = list(group.shared)
+        for n, idx in enumerate(shared):
+            lines.append(
+                _INDENT * n + f"for ({idx} = 0; {idx} < {program.dims[idx]}; {idx}++)" + " {"
+            )
+        depth = len(shared)
+        for op in members:
+            rest = [
+                i
+                for i in op.output.indices + op.reduction_indices
+                if i not in group.shared
+            ]
+            lines.extend(_loops(rest, program.dims, depth, [_statement(op, program)]))
+        for n in range(len(shared) - 1, -1, -1):
+            lines.append(_INDENT * n + "}")
+    return "\n".join(lines)
+
+
+def generate_naive_c(program: TCRProgram) -> str:
+    """The pre-strength-reduction form: useful only for single-op programs
+    produced directly from a contraction; multi-op programs fall back to
+    :func:`generate_c`.  Kept for the Section III before/after exhibits."""
+    return generate_c(program)

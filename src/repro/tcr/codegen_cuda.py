@@ -1,0 +1,225 @@
+"""CUDA code generation — the paper's Fig. 2(d) output.
+
+For each TCR operation and chosen :class:`~repro.tcr.space.KernelConfig`,
+emit a ``__global__`` kernel with:
+
+* the thread/block decomposition baked into the index expressions
+  (``tx``/``ty``/``bx``/``by`` shorthands, as in the paper's excerpt);
+* **scalar replacement** of the output: one load into a register, the
+  accumulation entirely in-register, one store at the end;
+* the serial loops in configured order, the innermost reduction loop
+  **unrolled** with the paper's main-loop + literal-remainder structure
+  (``for (n = 0; n <= 6; n += 3) { ... }`` followed by the ``n = 9``
+  statement, for trip 10 and factor 3);
+* row-major linearized subscripts (``access: linearize``).
+
+A host wrapper with allocation, H2D copies, the kernel launches (data
+staying resident between them), and the D2H copy completes a compilable
+``.cu`` translation unit.  We cannot run nvcc here, but the *semantics* of
+exactly this schedule are executed by :mod:`repro.gpusim.executor`, and
+golden tests pin the text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.tensor import TensorRef
+from repro.tcr.program import TCROperation, TCRProgram
+from repro.tcr.space import ONE, KernelConfig, ProgramConfig
+
+__all__ = ["generate_kernel", "generate_cuda_program", "kernel_name"]
+
+_IND = "  "
+
+
+def kernel_name(program: TCRProgram, op_index: int) -> str:
+    return f"{_sanitize(program.name)}_GPU_{op_index}"
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _subscript(
+    ref: TensorRef,
+    layout: Sequence[str],
+    dims: Mapping[str, int],
+    expr: Mapping[str, str],
+) -> str:
+    """Row-major subscript with loop indices replaced by CUDA expressions."""
+    stride = 1
+    strides: list[int] = []
+    for axis in reversed(layout):
+        strides.append(stride)
+        stride *= dims[axis]
+    strides.reverse()
+    parts: list[str] = []
+    for pos, idx in enumerate(ref.indices):
+        e = expr.get(idx, idx)
+        parts.append(e if strides[pos] == 1 else f"{e} * {strides[pos]}")
+    return " + ".join(parts) if parts else "0"
+
+
+def generate_kernel(
+    program: TCRProgram,
+    op_index: int,
+    config: KernelConfig,
+    acc_var: str = "nv",
+) -> str:
+    """Emit one ``__global__`` kernel for operation ``op_index``."""
+    op = program.operations[op_index]
+    dims = program.dims
+    expr: dict[str, str] = {}
+    decls: list[str] = []
+    for role, cuda in ((config.tx, "threadIdx.x"), (config.ty, "threadIdx.y"),
+                       (config.bx, "blockIdx.x"), (config.by, "blockIdx.y")):
+        if role != ONE:
+            short = {"threadIdx.x": "tx", "threadIdx.y": "ty",
+                     "blockIdx.x": "bx", "blockIdx.y": "by"}[cuda]
+            expr[role] = short
+            decls.append(f"int {short} = {cuda};")
+
+    params = ", ".join(
+        f"double *{name}"
+        for name in _kernel_arrays(op)
+    )
+    lines = [f"__global__ void {kernel_name(program, op_index)}({params})", "{"]
+    lines += [_IND + d for d in decls]
+
+    red = set(op.reduction_indices)
+    serial = config.serial_order
+    # Accumulator lives below the last non-reduction serial loop.
+    split = len(serial)
+    for pos in range(len(serial) - 1, -1, -1):
+        if serial[pos] in red:
+            split = pos
+        else:
+            break
+    outer = serial[:split]
+    inner = serial[split:]
+    if outer or inner:
+        lines.append(_IND + f"int {', '.join(serial)};")
+
+    depth = 1
+    for idx in outer:
+        lines.append(_IND * depth + f"for ({idx} = 0; {idx} < {dims[idx]}; {idx}++) {{")
+        depth += 1
+
+    out_sub = _subscript(op.output, program.arrays[op.output.name], dims, expr)
+    lines.append(_IND * depth + f"double {acc_var} = {op.output.name}[{out_sub}];")
+
+    def body(stmt_expr: Mapping[str, str]) -> str:
+        factors = " * ".join(
+            f"{r.name}[{_subscript(r, program.arrays[r.name], dims, stmt_expr)}]"
+            for r in op.inputs
+        )
+        return f"{acc_var} = {acc_var} + {factors};"
+
+    # Inner (reduction) loops; the innermost is unrolled.
+    inner_depth = depth
+    for idx in inner[:-1]:
+        lines.append(_IND * inner_depth + f"for ({idx} = 0; {idx} < {dims[idx]}; {idx}++) {{")
+        inner_depth += 1
+    if inner:
+        last = inner[-1]
+        extent = dims[last]
+        u = config.unroll
+        if u <= 1:
+            lines.append(_IND * inner_depth + f"for ({last} = 0; {last} < {extent}; {last}++) {{")
+            lines.append(_IND * (inner_depth + 1) + body(expr))
+            lines.append(_IND * inner_depth + "}")
+        else:
+            main = extent - extent % u
+            if main:
+                lines.append(
+                    _IND * inner_depth
+                    + f"for ({last} = 0; {last} <= {main - u}; {last} += {u}) {{"
+                )
+                for step in range(u):
+                    e = dict(expr)
+                    e[last] = last if step == 0 else f"({last} + {step})"
+                    lines.append(_IND * (inner_depth + 1) + body(e))
+                lines.append(_IND * inner_depth + "}")
+            for v in range(main, extent):  # literal remainder, as in Fig. 2(d)
+                e = dict(expr)
+                e[last] = str(v)
+                lines.append(_IND * inner_depth + body(e))
+    else:
+        lines.append(_IND * inner_depth + body(expr))
+    for d in range(inner_depth - 1, depth - 1, -1):
+        lines.append(_IND * d + "}")
+
+    lines.append(_IND * depth + f"{op.output.name}[{out_sub}] = {acc_var};")
+    for d in range(depth - 1, 0, -1):
+        lines.append(_IND * d + "}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _kernel_arrays(op: TCROperation) -> list[str]:
+    names = [op.output.name]
+    for r in op.inputs:
+        if r.name not in names:
+            names.append(r.name)
+    return names
+
+
+def generate_cuda_program(program: TCRProgram, config: ProgramConfig) -> str:
+    """Full ``.cu`` translation unit: kernels + host driver.
+
+    Inputs are copied to the device once, the kernels run back-to-back with
+    temporaries staying resident ("the data remains on the GPU across these
+    calls"), and the program outputs are copied back.
+    """
+    parts = [f"/* generated by Barracuda-repro for {program.name} */",
+             "#include <cuda_runtime.h>", ""]
+    for i in range(len(program.operations)):
+        parts.append(generate_kernel(program, i, config.kernels[i], acc_var=f"nv{i}"))
+        parts.append("")
+
+    # Host driver.
+    all_arrays = list(program.arrays)
+    lines = [f"void {_sanitize(program.name)}_run("]
+    sig = []
+    for name in program.input_names:
+        sig.append(f"const double *h_{name}")
+    for name in program.output_names:
+        sig.append(f"double *h_{name}")
+    lines[0] += ", ".join(sig) + ")"
+    lines.append("{")
+    for name in all_arrays:
+        n = program.array_elements(name)
+        lines.append(_IND + f"double *d_{name}; cudaMalloc(&d_{name}, {n} * sizeof(double));")
+    for name in program.input_names:
+        n = program.array_elements(name)
+        lines.append(
+            _IND
+            + f"cudaMemcpy(d_{name}, h_{name}, {n} * sizeof(double), cudaMemcpyHostToDevice);"
+        )
+    written = set(program.input_names)
+    for name in all_arrays:
+        if name not in written:
+            n = program.array_elements(name)
+            lines.append(_IND + f"cudaMemset(d_{name}, 0, {n} * sizeof(double));")
+    for i, (op, kc) in enumerate(zip(program.operations, config.kernels)):
+        gx = 1 if kc.bx == ONE else program.dims[kc.bx]
+        gy = 1 if kc.by == ONE else program.dims[kc.by]
+        tx = program.dims[kc.tx]
+        ty = 1 if kc.ty == ONE else program.dims[kc.ty]
+        args = ", ".join(f"d_{n}" for n in _kernel_arrays(op))
+        lines.append(
+            _IND
+            + f"{kernel_name(program, i)}<<<dim3({gx}, {gy}), dim3({tx}, {ty})>>>({args});"
+        )
+    for name in program.output_names:
+        n = program.array_elements(name)
+        lines.append(
+            _IND
+            + f"cudaMemcpy(h_{name}, d_{name}, {n} * sizeof(double), cudaMemcpyDeviceToHost);"
+        )
+    for name in all_arrays:
+        lines.append(_IND + f"cudaFree(d_{name});")
+    lines.append("}")
+    parts.extend(lines)
+    return "\n".join(parts)

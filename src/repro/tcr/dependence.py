@@ -1,0 +1,85 @@
+"""Dependence analysis for TCR operations.
+
+The paper replaces general pairwise dependence analysis with a rule that is
+exact for this domain (Section IV):
+
+    "Dependences can be carried only by loops with indices present in the
+    right-hand side but not the left-hand side of a tensor operation.
+    Loops corresponding to all remaining indices may be executed in
+    parallel."
+
+:func:`carried_dependence_indices` implements the rule.
+:func:`verify_rule_by_enumeration` is the general check the rule replaces —
+a brute-force scan for write conflicts between iterations — kept here so
+tests can certify the domain-specific shortcut against first principles.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping
+
+from repro.tcr.program import TCROperation
+
+__all__ = [
+    "carried_dependence_indices",
+    "parallel_indices",
+    "verify_rule_by_enumeration",
+]
+
+
+def carried_dependence_indices(operation: TCROperation) -> tuple[str, ...]:
+    """Indices whose loops carry a dependence (RHS-only: the reductions)."""
+    return operation.reduction_indices
+
+
+def parallel_indices(operation: TCROperation) -> tuple[str, ...]:
+    """Indices whose loops are safe to run in parallel (the LHS indices)."""
+    return operation.parallel_indices
+
+
+def verify_rule_by_enumeration(
+    operation: TCROperation, dims: Mapping[str, int], max_points: int = 200_000
+) -> bool:
+    """Check the domain rule against brute-force conflict detection.
+
+    Enumerates every iteration point, records which output element each
+    writes, and verifies that two iterations touch the same element *iff*
+    they differ only in indices the rule marks as carrying dependences.
+    Intended for small extents in tests; guards against oversized spaces.
+    """
+    order = operation.all_indices
+    extents = [dims[i] for i in order]
+    total = 1
+    for e in extents:
+        total *= e
+    if total > max_points:
+        raise ValueError(
+            f"iteration space of {total} points exceeds max_points={max_points}"
+        )
+    rule_parallel = set(parallel_indices(operation))
+    out_positions = [order.index(i) for i in operation.output.indices]
+
+    # Group iterations by the output element they write.
+    by_element: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
+    for point in itertools.product(*(range(e) for e in extents)):
+        element = tuple(point[p] for p in out_positions)
+        by_element.setdefault(element, []).append(point)
+
+    for points in by_element.values():
+        for a, b in itertools.combinations(points, 2):
+            differing = {order[k] for k in range(len(order)) if a[k] != b[k]}
+            # A write conflict between iterations differing in some index set
+            # means every one of those loops, if parallelized alone, could
+            # reorder the conflicting accesses; the rule must have declared
+            # them all as dependence-carrying.
+            if differing & rule_parallel:
+                return False
+    # And conversely: every reduction loop with extent > 1 must actually
+    # produce a conflict (the rule is tight, not just safe).
+    for idx in carried_dependence_indices(operation):
+        if dims[idx] > 1:
+            found = any(len(pts) > 1 for pts in by_element.values())
+            if not found:
+                return False
+    return True

@@ -1,0 +1,116 @@
+"""Loop-nest construction from TCR operations.
+
+TCR "creates a for loop for each different loop index listed in the
+operation and uses the tensor equation to generate the statement"
+(Section IV).  A :class:`LoopNest` is that sequential nest: an ordered list
+of loops (each one index with its extent) around a single multiply-
+accumulate statement.  The default order is output indices in declared
+order followed by reduction indices — the shape shown in the middle of the
+paper's Fig. 2 — but any permutation can be requested (loop interchange).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.indices import iteration_space_size
+from repro.errors import TCRError
+from repro.tcr.program import TCROperation
+
+__all__ = ["Loop", "LoopNest", "build_loop_nest"]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One ``for`` loop: an index, its extent, and its dependence class."""
+
+    index: str
+    extent: int
+    parallel: bool
+
+    def __str__(self) -> str:
+        kind = "par" if self.parallel else "red"
+        return f"for {self.index} in 0..{self.extent - 1} [{kind}]"
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """An ordered nest of loops around one TCR statement."""
+
+    operation: TCROperation
+    loops: tuple[Loop, ...]
+
+    def __post_init__(self) -> None:
+        have = tuple(lp.index for lp in self.loops)
+        want = self.operation.all_indices
+        if sorted(have) != sorted(want):
+            raise TCRError(
+                f"loop order {have} is not a permutation of the operation's "
+                f"indices {want}"
+            )
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        return tuple(lp.index for lp in self.loops)
+
+    @property
+    def innermost(self) -> Loop:
+        return self.loops[-1]
+
+    @property
+    def parallel_loops(self) -> tuple[Loop, ...]:
+        return tuple(lp for lp in self.loops if lp.parallel)
+
+    @property
+    def reduction_loops(self) -> tuple[Loop, ...]:
+        return tuple(lp for lp in self.loops if not lp.parallel)
+
+    def trip_count(self) -> int:
+        return iteration_space_size(self.order, {lp.index: lp.extent for lp in self.loops})
+
+    def extent_of(self, index: str) -> int:
+        for lp in self.loops:
+            if lp.index == index:
+                return lp.extent
+        raise TCRError(f"no loop over index {index!r} in this nest")
+
+    def permuted(self, order: Sequence[str]) -> "LoopNest":
+        """Return the nest with loops reordered (loop interchange).
+
+        All-parallel-plus-reduction nests of a single statement are fully
+        permutable — any interchange is legal — so no legality check beyond
+        the permutation requirement is needed.
+        """
+        by_index = {lp.index: lp for lp in self.loops}
+        if sorted(order) != sorted(by_index):
+            raise TCRError(
+                f"{tuple(order)} is not a permutation of loops {tuple(by_index)}"
+            )
+        return LoopNest(self.operation, tuple(by_index[i] for i in order))
+
+    def __str__(self) -> str:
+        lines = []
+        for depth, lp in enumerate(self.loops):
+            lines.append("  " * depth + str(lp))
+        lines.append("  " * len(self.loops) + str(self.operation))
+        return "\n".join(lines)
+
+
+def build_loop_nest(
+    operation: TCROperation,
+    dims: Mapping[str, int],
+    order: Sequence[str] | None = None,
+) -> LoopNest:
+    """Build the loop nest for one operation.
+
+    ``order`` defaults to output indices (parallel) followed by reduction
+    indices, matching the paper's generated sequential code.
+    """
+    if order is None:
+        order = operation.output.indices + operation.reduction_indices
+    parallel = set(operation.parallel_indices)
+    loops = tuple(
+        Loop(index=i, extent=dims[i], parallel=i in parallel) for i in order
+    )
+    return LoopNest(operation, loops)

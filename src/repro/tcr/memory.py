@@ -1,0 +1,144 @@
+"""Memory access-pattern analysis: contiguity, strides, coalescing.
+
+Section IV's decision algorithm is driven by two properties of each array
+reference:
+
+* **Contiguity** — "array references whose index expressions refer to loops
+  in the same order as they appear in the code; that is, the array is
+  accessed in memory order (assuming row-major layout)."  A reference is
+  contiguous w.r.t. a loop order when its indices occur in the same relative
+  order as the loops.
+* **Coalescing** — whether adjacent values of a candidate ThreadX index
+  touch adjacent memory in some input tensor, i.e. the index has stride 1
+  in that reference.
+
+Both analyses work on the *access* index tuples of a
+:class:`~repro.tcr.program.TCROperation` (which bind loop indices to array
+axes positionally), so strides come straight from row-major layout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.tensor import TensorRef
+from repro.tcr.program import TCROperation
+
+__all__ = [
+    "is_contiguous",
+    "contiguous_tensors",
+    "stride_of",
+    "coalescing_indices",
+    "AccessPattern",
+    "access_analysis",
+]
+
+
+def is_contiguous(ref: TensorRef, loop_order: Sequence[str]) -> bool:
+    """True when ``ref``'s indices appear in loop order (memory-order access)."""
+    positions = []
+    for idx in ref.indices:
+        try:
+            positions.append(loop_order.index(idx))
+        except ValueError:
+            return False  # indexed by something that is not a loop here
+    return positions == sorted(positions)
+
+
+def contiguous_tensors(
+    operation: TCROperation,
+    loop_order: Sequence[str] | None = None,
+    include_output: bool = False,
+) -> tuple[TensorRef, ...]:
+    """The operation's contiguous references under ``loop_order``.
+
+    The default order is the one TCR generates (outputs then reductions),
+    matching what the decision algorithm inspects.
+    """
+    if loop_order is None:
+        loop_order = operation.output.indices + operation.reduction_indices
+    refs = operation.inputs + ((operation.output,) if include_output else ())
+    return tuple(r for r in refs if is_contiguous(r, loop_order))
+
+
+def stride_of(ref: TensorRef, index: str, dims: Mapping[str, int]) -> int:
+    """Row-major element stride of ``index`` in ``ref`` (0 if absent).
+
+    Stride 0 means the reference is invariant in that index — free reuse
+    across that loop.
+    """
+    if index not in ref.indices:
+        return 0
+    return ref.strides(dims)[index]
+
+
+def coalescing_indices(
+    operation: TCROperation,
+    dims: Mapping[str, int],
+    parallel_only: bool = True,
+    include_output: bool = True,
+) -> tuple[str, ...]:
+    """Indices that would give coalesced global accesses as ThreadX.
+
+    An index qualifies when it has stride 1 in at least one input tensor
+    (adjacent threads then read adjacent elements) or — with
+    ``include_output`` — in the output (adjacent threads store adjacent
+    elements).  The paper's rule mentions only inputs, but for reductionless
+    kernels such as the NWChem s1 outer products the store traffic
+    dominates and output coalescing is the decision that matters; including
+    it simply widens the candidate list the search explores.  Restricted to
+    parallel loops by default because thread dimensions must be
+    dependence-free.
+    """
+    candidates = (
+        operation.parallel_indices if parallel_only else operation.all_indices
+    )
+    refs = list(operation.inputs)
+    if include_output:
+        refs.append(operation.output)
+    out = []
+    for idx in candidates:
+        if any(stride_of(ref, idx, dims) == 1 for ref in refs):
+            out.append(idx)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Stride summary of one reference under an operation's loops."""
+
+    ref: TensorRef
+    strides: dict[str, int]  # loop index -> element stride (0 = invariant)
+    contiguous: bool
+
+    def invariant_in(self, index: str) -> bool:
+        return self.strides.get(index, 0) == 0
+
+    def elements(self, dims: Mapping[str, int]) -> int:
+        return self.ref.size(dims)
+
+
+def access_analysis(
+    operation: TCROperation,
+    dims: Mapping[str, int],
+    loop_order: Sequence[str] | None = None,
+) -> dict[str, AccessPattern]:
+    """Per-reference stride analysis keyed by a stable reference label.
+
+    Labels are ``in0``, ``in1`` and ``out`` (array names may repeat when the
+    same tensor appears twice).
+    """
+    if loop_order is None:
+        loop_order = operation.output.indices + operation.reduction_indices
+    result: dict[str, AccessPattern] = {}
+    labeled = [(f"in{i}", ref) for i, ref in enumerate(operation.inputs)]
+    labeled.append(("out", operation.output))
+    for label, ref in labeled:
+        strides = {idx: stride_of(ref, idx, dims) for idx in loop_order}
+        result[label] = AccessPattern(
+            ref=ref,
+            strides=strides,
+            contiguous=is_contiguous(ref, loop_order),
+        )
+    return result

@@ -1,0 +1,98 @@
+"""Orio / CUDA-CHiLL annotation emission — the paper's Fig. 2(c).
+
+Barracuda drives the existing Orio autotuner with generated annotations:
+``performance_params`` blocks listing the PERMUTE candidate lists and
+unroll factors, plus a CHiLL recipe (``cuda(...)``, ``registers(...)``,
+``unroll(...)``) per kernel.  We emit the same shape of text from a
+:class:`~repro.tcr.space.KernelSpace` so the search space is inspectable in
+the paper's own notation (and golden-testable).
+"""
+
+from __future__ import annotations
+
+from repro.tcr.space import ProgramSpace
+
+__all__ = [
+    "emit_performance_params",
+    "emit_chill_recipe",
+    "emit_orio_annotation",
+    "parse_performance_params",
+]
+
+
+def _plist(values) -> str:
+    return "[" + ",".join(f"'{v}'" for v in values) + "]"
+
+
+def emit_performance_params(space: ProgramSpace) -> str:
+    """The ``def performance_params { ... }`` block for a whole variant."""
+    lines = ["def performance_params {"]
+    for k, ks in enumerate(space.kernel_spaces):
+        lines.append(f"  param PERMUTE_{k}_TX{k}[] = {_plist(ks.tx_candidates)};")
+        lines.append(f"  param PERMUTE_{k}_TY{k}[] = {_plist(ks.ty_candidates)};")
+        lines.append(f"  param PERMUTE_{k}_BX{k}[] = {_plist(ks.bx_candidates)};")
+        lines.append(f"  param PERMUTE_{k}_BY{k}[] = {_plist(ks.by_candidates)};")
+        lines.append(
+            f"  param UF_{k}[] = [{','.join(str(u) for u in ks.unroll_factors)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def emit_chill_recipe(space: ProgramSpace) -> str:
+    """The CHiLL transformation recipe: one cuda/registers/unroll per kernel."""
+    lines = ["/*@ begin CHiLL ("]
+    for k, ks in enumerate(space.kernel_spaces):
+        op = ks.operation
+        lines.append(
+            f"  cuda({k},block={{PERMUTE_{k}_BX{k},PERMUTE_{k}_BY{k}}},"
+            f"thread={{PERMUTE_{k}_TX{k},PERMUTE_{k}_TY{k}}})"
+        )
+        reds = op.reduction_indices
+        if reds:
+            inner = reds[-1]
+            lines.append(f'  registers({k},"{inner}","{op.output.name}")')
+            lines.append(f'  unroll({k},"{inner}",UF_{k})')
+        else:
+            lines.append(f'  registers({k},"{op.output.indices[-1]}","{op.output.name}")')
+    lines.append(") @*/")
+    return "\n".join(lines)
+
+
+def emit_orio_annotation(space: ProgramSpace) -> str:
+    """Full Fig. 2(c)-style annotation: params + recipe + sequential code."""
+    from repro.tcr.codegen_c import generate_c
+
+    return "\n".join(
+        [
+            emit_performance_params(space),
+            emit_chill_recipe(space),
+            generate_c(space.program),
+        ]
+    )
+
+
+def parse_performance_params(text: str) -> dict[str, list[str]]:
+    """Parse a ``def performance_params { ... }`` block back into lists.
+
+    Round-trips :func:`emit_performance_params` and accepts the paper's own
+    Fig. 2(c) excerpt.  Returns ``{param_name: [values...]}`` with values
+    kept as strings (unroll factors included — callers can int() them).
+    """
+    import re
+
+    from repro.errors import SearchSpaceError
+
+    body = re.search(r"def\s+performance_params\s*\{(.*?)\}", text, re.S)
+    if not body:
+        raise SearchSpaceError("no performance_params block found")
+    params: dict[str, list[str]] = {}
+    for match in re.finditer(
+        r"param\s+(\w+)\[\]\s*=\s*\[([^\]]*)\]\s*;", body.group(1)
+    ):
+        name, values = match.group(1), match.group(2)
+        items = [v.strip().strip("'\"") for v in values.split(",") if v.strip()]
+        params[name] = items
+    if not params:
+        raise SearchSpaceError("performance_params block declares no params")
+    return params

@@ -1,0 +1,311 @@
+"""Search-space representation: kernel/program configurations.
+
+The decision algorithm (:mod:`repro.tcr.decision`) produces, per TCR
+operation (= per GPU kernel), candidate lists for the four decomposition
+parameters — ThreadX, ThreadY, BlockX, BlockY — with the paper's PERMUTE
+semantics (one value each, mutually distinct loop indices; ``"1"`` collapses
+a Y dimension), plus serial-loop-order and unroll-factor parameters.  This
+module turns those candidate lists into enumerable, sampleable spaces:
+
+``KernelSpace``
+    All legal :class:`KernelConfig` points for one kernel (materialized —
+    per-kernel spaces are small, O(10^2..10^4)).
+``ProgramSpace``
+    The cross product across a variant's kernels, addressed by mixed-radix
+    global index so points can be sampled without enumeration.
+``TuningSpace``
+    The union across OCTOPI variants — the object SURF searches.  For Lg3t
+    this reaches the paper's "512,000 possible tensor-code variants" scale.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SearchSpaceError
+from repro.tcr.program import TCROperation, TCRProgram
+
+__all__ = [
+    "ONE",
+    "KernelConfig",
+    "ProgramConfig",
+    "KernelSpace",
+    "ProgramSpace",
+    "TuningSpace",
+]
+
+#: The PERMUTE value meaning "no loop mapped here" (1-D thread/block shape).
+ONE = "1"
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """One point of a kernel's parameter space.
+
+    Attributes
+    ----------
+    tx, ty, bx, by:
+        Loop indices mapped to threadIdx.x/.y and blockIdx.x/.y; ``ty``/``by``
+        (and, for degenerate spaces, ``bx``) may be :data:`ONE`.
+    serial_order:
+        Execution order of the loops left inside each thread (unmapped
+        parallel loops and all reduction loops), outermost first.
+    unroll:
+        Unroll factor applied to the innermost reduction loop (1 = none).
+    """
+
+    tx: str
+    ty: str
+    bx: str
+    by: str
+    serial_order: tuple[str, ...]
+    unroll: int
+
+    @property
+    def mapped(self) -> tuple[str, ...]:
+        """Loop indices consumed by the thread/block decomposition."""
+        return tuple(v for v in (self.tx, self.ty, self.bx, self.by) if v != ONE)
+
+    @property
+    def innermost_serial(self) -> str | None:
+        return self.serial_order[-1] if self.serial_order else None
+
+    def describe(self) -> str:
+        so = ",".join(self.serial_order) if self.serial_order else "-"
+        return (
+            f"thread=({self.tx},{self.ty}) block=({self.bx},{self.by}) "
+            f"serial=({so}) unroll={self.unroll}"
+        )
+
+
+@dataclass(frozen=True)
+class ProgramConfig:
+    """One point of a whole program's space: a variant + per-kernel configs."""
+
+    variant_index: int
+    kernels: tuple[KernelConfig, ...]
+    global_id: int = -1  # position within the owning TuningSpace, if known
+
+    def describe(self) -> str:
+        parts = [f"variant={self.variant_index}"]
+        for i, k in enumerate(self.kernels):
+            parts.append(f"k{i}: {k.describe()}")
+        return "; ".join(parts)
+
+    def features(self) -> dict[str, object]:
+        """Flat feature dict for the SURF surrogate (pre-binarization).
+
+        Decomposition choices are categorical strings; unroll factors are
+        ordinal integers (the paper binarizes the former and keeps the
+        latter numeric).
+        """
+        feats: dict[str, object] = {"variant": str(self.variant_index)}
+        for i, k in enumerate(self.kernels):
+            feats[f"k{i}_tx"] = k.tx
+            feats[f"k{i}_ty"] = k.ty
+            feats[f"k{i}_bx"] = k.bx
+            feats[f"k{i}_by"] = k.by
+            feats[f"k{i}_inner"] = k.innermost_serial or "-"
+            feats[f"k{i}_unroll"] = int(k.unroll)
+        return feats
+
+
+class KernelSpace:
+    """The legal configurations of one kernel, fully materialized.
+
+    Parameters mirror the Orio annotation of Fig. 2(c): candidate lists for
+    the four PERMUTE parameters, serial-order options, and unroll factors.
+    """
+
+    def __init__(
+        self,
+        operation: TCROperation,
+        tx_candidates: Sequence[str],
+        ty_candidates: Sequence[str],
+        bx_candidates: Sequence[str],
+        by_candidates: Sequence[str],
+        serial_orders_for,
+        unroll_factors: Sequence[int],
+    ) -> None:
+        """``serial_orders_for(mapped) -> list[tuple[str, ...]]`` supplies the
+        legal serial-loop orders given the mapped indices (the decision
+        module provides it, since it knows the dependence classification)."""
+        self.operation = operation
+        self.tx_candidates = tuple(tx_candidates)
+        self.ty_candidates = tuple(ty_candidates)
+        self.bx_candidates = tuple(bx_candidates)
+        self.by_candidates = tuple(by_candidates)
+        self.unroll_factors = tuple(unroll_factors)
+        if not self.tx_candidates:
+            raise SearchSpaceError(
+                f"kernel for {operation} has no ThreadX candidates"
+            )
+        if not self.unroll_factors:
+            raise SearchSpaceError("unroll factor list is empty")
+        self._configs = self._enumerate(serial_orders_for)
+        if not self._configs:
+            raise SearchSpaceError(
+                f"kernel space for {operation} is empty after the distinctness "
+                "constraint; candidate lists are inconsistent"
+            )
+        self._index = {cfg: i for i, cfg in enumerate(self._configs)}
+
+    def _enumerate(self, serial_orders_for) -> tuple[KernelConfig, ...]:
+        out: list[KernelConfig] = []
+        for tx in self.tx_candidates:
+            for ty in self.ty_candidates:
+                for bx in self.bx_candidates:
+                    for by in self.by_candidates:
+                        chosen = [v for v in (tx, ty, bx, by) if v != ONE]
+                        if len(set(chosen)) != len(chosen):
+                            continue  # PERMUTE: loop values must be distinct
+                        if tx == ONE:
+                            continue  # ThreadX always maps a real loop
+                        for order in serial_orders_for(tuple(chosen)):
+                            for uf in self.unroll_factors:
+                                out.append(
+                                    KernelConfig(
+                                        tx=tx,
+                                        ty=ty,
+                                        bx=bx,
+                                        by=by,
+                                        serial_order=tuple(order),
+                                        unroll=uf,
+                                    )
+                                )
+        return tuple(out)
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def __iter__(self) -> Iterator[KernelConfig]:
+        return iter(self._configs)
+
+    def __getitem__(self, i: int) -> KernelConfig:
+        return self._configs[i]
+
+    def index_of(self, config: KernelConfig) -> int:
+        try:
+            return self._index[config]
+        except KeyError:
+            raise ConfigurationError(
+                f"configuration {config.describe()} is not in this kernel space"
+            ) from None
+
+
+@dataclass
+class ProgramSpace:
+    """Cross product of kernel spaces for one OCTOPI variant."""
+
+    variant_index: int
+    program: TCRProgram
+    kernel_spaces: tuple[KernelSpace, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.kernel_spaces) != len(self.program.operations):
+            raise SearchSpaceError(
+                f"{len(self.kernel_spaces)} kernel spaces for "
+                f"{len(self.program.operations)} operations"
+            )
+
+    def size(self) -> int:
+        n = 1
+        for ks in self.kernel_spaces:
+            n *= len(ks)
+        return n
+
+    def config_at(self, index: int) -> ProgramConfig:
+        """Mixed-radix decode of a local index into per-kernel configs."""
+        if not 0 <= index < self.size():
+            raise ConfigurationError(
+                f"index {index} outside program space of size {self.size()}"
+            )
+        digits: list[KernelConfig] = []
+        for ks in reversed(self.kernel_spaces):
+            index, d = divmod(index, len(ks))
+            digits.append(ks[d])
+        return ProgramConfig(
+            variant_index=self.variant_index, kernels=tuple(reversed(digits))
+        )
+
+    def index_of(self, config: ProgramConfig) -> int:
+        index = 0
+        for ks, kc in zip(self.kernel_spaces, config.kernels):
+            index = index * len(ks) + ks.index_of(kc)
+        return index
+
+
+class TuningSpace:
+    """The union of all variants' program spaces — what SURF explores.
+
+    Points have dense global ids ``0 .. size()-1`` ordered by variant; the
+    space supports random sampling of distinct ids (for building SURF's
+    configuration pool) without materializing anything.
+    """
+
+    def __init__(self, program_spaces: Sequence[ProgramSpace]) -> None:
+        if not program_spaces:
+            raise SearchSpaceError("tuning space needs at least one variant")
+        self.program_spaces = tuple(program_spaces)
+        self._offsets: list[int] = []
+        total = 0
+        for ps in self.program_spaces:
+            self._offsets.append(total)
+            total += ps.size()
+        self._total = total
+
+    def size(self) -> int:
+        return self._total
+
+    def config_at(self, global_id: int) -> ProgramConfig:
+        if not 0 <= global_id < self._total:
+            raise ConfigurationError(
+                f"global id {global_id} outside tuning space of size {self._total}"
+            )
+        # Find the variant owning this id (offsets are sorted).
+        lo, hi = 0, len(self.program_spaces) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._offsets[mid] <= global_id:
+                lo = mid
+            else:
+                hi = mid - 1
+        ps = self.program_spaces[lo]
+        local = global_id - self._offsets[lo]
+        cfg = ps.config_at(local)
+        return ProgramConfig(
+            variant_index=cfg.variant_index,
+            kernels=cfg.kernels,
+            global_id=global_id,
+        )
+
+    def sample_ids(self, count: int, rng: np.random.Generator) -> list[int]:
+        """Sample ``count`` distinct global ids uniformly (or all, if fewer)."""
+        if count >= self._total:
+            return list(range(self._total))
+        if count > self._total // 2:
+            return sorted(
+                rng.choice(self._total, size=count, replace=False).tolist()
+            )
+        seen: set[int] = set()
+        while len(seen) < count:
+            need = count - len(seen)
+            draw = rng.integers(0, self._total, size=max(need * 2, 8))
+            for g in draw.tolist():
+                if g not in seen:
+                    seen.add(g)
+                    if len(seen) == count:
+                        break
+        return sorted(seen)
+
+    def sample_pool(self, count: int, rng: np.random.Generator) -> list[ProgramConfig]:
+        return [self.config_at(g) for g in self.sample_ids(count, rng)]
+
+    def enumerate_all(self, limit: int | None = None) -> Iterator[ProgramConfig]:
+        """Yield every point (optionally capped) — for brute-force baselines."""
+        stop = self._total if limit is None else min(limit, self._total)
+        for g in range(stop):
+            yield self.config_at(g)

@@ -1,0 +1,14 @@
+"""Shared utilities: deterministic RNG, stable hashing, timing, tables."""
+
+from repro.util.rng import stable_hash, stable_uniform, spawn_rng
+from repro.util.timing import Timer
+from repro.util.tables import format_table, format_bar_chart
+
+__all__ = [
+    "stable_hash",
+    "stable_uniform",
+    "spawn_rng",
+    "Timer",
+    "format_table",
+    "format_bar_chart",
+]

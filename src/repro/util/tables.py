@@ -1,0 +1,107 @@
+"""Plain-text table and bar-chart rendering for benchmark reports.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+tables as aligned ASCII grids, Figure 3 as horizontal bar charts.  Keeping
+this in one module makes every bench's output uniform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_bar_chart"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numeric cells are right-aligned and formatted with two decimals; text
+    cells are left-aligned.
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {ncols} columns: {row}"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(ncols)
+    ]
+    numeric = [
+        all(_is_numeric_cell(r[c]) for r in str_rows) if str_rows else False
+        for c in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, text in enumerate(cells):
+            if numeric[c] and text != headers[c]:
+                parts.append(text.rjust(widths[c]))
+            else:
+                parts.append(text.ljust(widths[c]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def _is_numeric_cell(text: str) -> bool:
+    try:
+        float(text.rstrip("x×s").replace(",", ""))
+        return True
+    except ValueError:
+        return False
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render grouped horizontal bars (one group per label).
+
+    Used for Figure 3: one group per NWChem kernel, one bar per
+    (strategy, architecture) series.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for {len(labels)} labels"
+            )
+    peak = max((max(v) for v in series.values()), default=1.0)
+    peak = max(peak, 1e-12)
+    name_w = max(len(n) for n in series)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for i, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for name, values in series.items():
+            v = values[i]
+            bar = "#" * max(0, round(width * v / peak))
+            lines.append(f"  {name.ljust(name_w)} |{bar} {v:.2f}{unit}")
+    return "\n".join(lines)

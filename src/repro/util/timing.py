@@ -1,0 +1,34 @@
+"""Small wall-clock timing helper used by the autotuner and benches."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None  # stop: running() now reports the final elapsed
+
+    def running(self) -> float:
+        """Elapsed time so far without stopping the timer."""
+        if self._start is None:
+            return self.elapsed
+        return time.perf_counter() - self._start

@@ -1,0 +1,31 @@
+"""Benchmark workloads — the paper's Table I.
+
+=========  ==================================================================
+Eqn.(1)    spectral-element example from Fig. 2 (unbatched; transfer-bound)
+Lg3        ``local_grad3`` from Nekbone (batched over mesh elements)
+Lg3t       ``local_grad3t`` from Nekbone (transpose, accumulating)
+Nekbone    CG mini-app using tuned Lg3/Lg3t (see :mod:`repro.apps.nekbone`)
+TCE ex     four-index transform, the classic TCE example contraction
+S1/D1/D2   NWChem CCSD(T) triples kernels, nine output layouts per family
+=========  ==================================================================
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.spectral import eqn1, lg3, lg3t
+from repro.workloads.tce import tce_ex
+from repro.workloads.nwchem import nwchem_kernel, nwchem_family, NWCHEM_FAMILIES
+from repro.workloads.registry import get_workload, workload_names, TABLE1
+
+__all__ = [
+    "Workload",
+    "eqn1",
+    "lg3",
+    "lg3t",
+    "tce_ex",
+    "nwchem_kernel",
+    "nwchem_family",
+    "NWCHEM_FAMILIES",
+    "get_workload",
+    "workload_names",
+    "TABLE1",
+]

@@ -1,0 +1,67 @@
+"""The workload abstraction shared by benches, examples and the CLI.
+
+A workload is either a :class:`~repro.core.contraction.Contraction` (the
+autotuner then explores OCTOPI's algebraic variants too — Eqn.(1),
+TCE ex) or a fixed :class:`~repro.tcr.program.TCRProgram` (Lg3/Lg3t and the
+NWChem kernels, whose operation sequences are given by the application).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.contraction import Contraction
+from repro.errors import WorkloadError
+from repro.tcr.program import TCRProgram
+
+__all__ = ["Workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named benchmark computation."""
+
+    name: str
+    description: str
+    contraction: Contraction | None = None
+    program: TCRProgram | None = None
+    #: paper-reported reference numbers for EXPERIMENTS.md cross-checks
+    paper: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.contraction is None) == (self.program is None):
+            raise WorkloadError(
+                f"workload {self.name!r} must define exactly one of "
+                "contraction / program"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "contraction" if self.contraction is not None else "program"
+
+    def flops(self) -> int:
+        """Flops of the best-known algorithmic form (what rates divide by)."""
+        if self.program is not None:
+            return self.program.flops()
+        from repro.core.pipeline import compile_contraction
+
+        return compile_contraction(self.contraction).min_flops
+
+    def tune(self, tuner) -> "object":
+        """Dispatch to the right :class:`~repro.autotune.tuner.Autotuner` entry."""
+        if self.contraction is not None:
+            return tuner.tune_contraction(self.contraction)
+        return tuner.tune_program(self.program)
+
+    def reference_program(self) -> TCRProgram:
+        """A concrete TCR program for baseline (CPU/OpenACC) models.
+
+        For contraction workloads this is the first minimal-flop OCTOPI
+        variant — the paper's baselines also run the strength-reduced form.
+        """
+        if self.program is not None:
+            return self.program
+        from repro.core.pipeline import compile_contraction
+
+        compiled = compile_contraction(self.contraction)
+        return compiled.minimal_flop_variants()[0].program

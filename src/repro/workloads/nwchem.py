@@ -1,0 +1,92 @@
+"""NWChem CCSD(T) triples kernels: the S1, D1 and D2 families.
+
+The paper optimizes loop-driven kernels extracted from NWChem's CCSD(T)
+code (Jeff Hammond's ``nwchem-tce-triples-kernels``), "representative of
+what executes at the socket level, with trip counts of 16 iterations in
+each dimension".  Each family has nine kernels that compute the same
+mathematical contribution into the rank-6 triples tensor ``t3`` but with
+different *output index orderings* (the h1 position within the occupied
+block and the p4 position within the virtual block each take three
+values), which changes the memory behaviour — exactly the spread Figure 3
+shows:
+
+* **S1** — singles term, an outer product (no contracted index):
+  ``t3[h-block, p-block] += t1[p4,h1] * v2[h3,h2,p6,p5]``
+* **D1** — doubles term contracting an occupied index ``h7``:
+  ``t3[...] += t2[h7,p4,p5,h1] * v2[h3,h2,p6,h7]``
+* **D2** — doubles term contracting a virtual index ``p7``:
+  ``t3[...] += t2[p7,p4,h1,h2] * v2[p7,h3,p6,p5]``
+
+Each kernel is a single-operation TCR program (one GPU kernel; no OCTOPI
+variants — the contraction is already binary).
+"""
+
+from __future__ import annotations
+
+from repro.core.tensor import TensorRef
+from repro.errors import WorkloadError
+from repro.tcr.program import TCROperation, TCRProgram
+from repro.workloads.base import Workload
+
+__all__ = ["NWCHEM_FAMILIES", "nwchem_kernel", "nwchem_family", "kernel_names"]
+
+NWCHEM_FAMILIES = ("s1", "d1", "d2")
+
+#: Trip count of every dimension in the extracted kernels.
+DEFAULT_N = 16
+
+# The three placements of h1 within the occupied (h) block and of p4 within
+# the virtual (p) block; kernel k of a family uses h-order HP[(k-1)//3] and
+# p-order PP[(k-1)%3], mirroring the 3x3 structure of the real kernel set.
+_H_ORDERS = (("h3", "h2", "h1"), ("h3", "h1", "h2"), ("h1", "h3", "h2"))
+_P_ORDERS = (("p6", "p5", "p4"), ("p6", "p4", "p5"), ("p4", "p6", "p5"))
+
+_FAMILY_INPUTS: dict[str, tuple[tuple[str, tuple[str, ...]], ...]] = {
+    "s1": (("t1", ("p4", "h1")), ("v2", ("h3", "h2", "p6", "p5"))),
+    "d1": (("t2", ("h7", "p4", "p5", "h1")), ("v2", ("h3", "h2", "p6", "h7"))),
+    "d2": (("t2", ("p7", "p4", "h1", "h2")), ("v2", ("p7", "h3", "p6", "p5"))),
+}
+
+
+def kernel_names(family: str) -> list[str]:
+    """``["d1_1", ..., "d1_9"]`` for a family."""
+    _check_family(family)
+    return [f"{family}_{k}" for k in range(1, 10)]
+
+
+def _check_family(family: str) -> None:
+    if family not in NWCHEM_FAMILIES:
+        raise WorkloadError(
+            f"unknown NWChem family {family!r}; expected one of {NWCHEM_FAMILIES}"
+        )
+
+
+def nwchem_kernel(family: str, number: int, n: int = DEFAULT_N) -> Workload:
+    """Build kernel ``<family>_<number>`` (number in 1..9) at extent ``n``."""
+    _check_family(family)
+    if not 1 <= number <= 9:
+        raise WorkloadError(f"kernel number must be 1..9, got {number}")
+    h_order = _H_ORDERS[(number - 1) // 3]
+    p_order = _P_ORDERS[(number - 1) % 3]
+    out_indices = h_order + p_order
+    inputs = tuple(
+        TensorRef(name, idx) for name, idx in _FAMILY_INPUTS[family]
+    )
+    out = TensorRef("t3", out_indices)
+    op = TCROperation(out, inputs)
+    indices = sorted(set(out_indices) | {i for r in inputs for i in r.indices})
+    dims = {i: n for i in indices}
+    arrays = {r.name: r.indices for r in inputs}
+    arrays["t3"] = out_indices
+    name = f"{family}_{number}"
+    program = TCRProgram(name=name, dims=dims, arrays=arrays, operations=[op])
+    return Workload(
+        name=name,
+        description=f"NWChem CCSD(T) triples kernel {name} (N={n})",
+        program=program,
+    )
+
+
+def nwchem_family(family: str, n: int = DEFAULT_N) -> list[Workload]:
+    """All nine kernels of one family."""
+    return [nwchem_kernel(family, k, n) for k in range(1, 10)]

@@ -1,0 +1,53 @@
+"""Name → workload lookup, and the Table I inventory."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.nwchem import NWCHEM_FAMILIES, kernel_names, nwchem_kernel
+from repro.workloads.spectral import eqn1, lg3, lg3t
+from repro.workloads.tce import tce_ex
+
+__all__ = ["TABLE1", "workload_names", "get_workload"]
+
+#: The paper's Table I, as (name, description) rows.
+TABLE1: tuple[tuple[str, str], ...] = (
+    ("eqn1", "Spectral Element: example from Figure 2"),
+    ("lg3", "Spectral Element: local_grad3 from Nekbone"),
+    ("lg3t", "Spectral Element: local_grad3t from Nekbone"),
+    ("nekbone", "Mini-app using optimized Lg3 and Lg3t"),
+    ("tce_ex", "Coupled Cluster: TCE example tensor [4]"),
+    ("s1", "NWChem excerpt: 2 objects with 2&4 dimensions (s1_1..s1_9)"),
+    ("d1", "NWChem excerpt: 2 objects with 4 dimensions (d1_1..d1_9)"),
+    ("d2", "NWChem excerpt: 2 objects with 4 dimensions (d2_1..d2_9)"),
+)
+
+
+def workload_names() -> list[str]:
+    """Every individually-tunable workload name."""
+    names = ["eqn1", "lg3", "lg3t", "tce_ex"]
+    for family in NWCHEM_FAMILIES:
+        names.extend(kernel_names(family))
+    return names
+
+
+def get_workload(name: str, **kwargs) -> Workload:
+    """Build a workload by name; kwargs forward to the factory.
+
+    ``nekbone`` is an application, not a single workload — see
+    :mod:`repro.apps.nekbone`.
+    """
+    key = name.strip().lower()
+    factories = {"eqn1": eqn1, "lg3": lg3, "lg3t": lg3t, "tce_ex": tce_ex}
+    if key in factories:
+        return factories[key](**kwargs)
+    parts = key.split("_")
+    if len(parts) == 2 and parts[0] in NWCHEM_FAMILIES:
+        try:
+            number = int(parts[1])
+        except ValueError:
+            raise WorkloadError(f"bad NWChem kernel name {name!r}") from None
+        return nwchem_kernel(parts[0], number, **kwargs)
+    raise WorkloadError(
+        f"unknown workload {name!r}; known: {workload_names()}"
+    )

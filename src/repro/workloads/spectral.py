@@ -1,0 +1,147 @@
+"""Spectral-element workloads: Eqn.(1), Lg3 and Lg3t.
+
+* :func:`eqn1` is the paper's running example (Fig. 2a): the 3-D
+  interpolation ``V = (A ⊗ B ⊗ C) U`` on one element.  It is deliberately
+  *unbatched* — 60 kflops — which is why Table II shows it failing to beat
+  the CPU (PCIe and launch overheads dominate).
+* :func:`lg3` / :func:`lg3t` are Nekbone's ``local_grad3`` /
+  ``local_grad3t``: the derivative evaluation ``ur = D u`` (and its
+  transpose-accumulate) applied across *thousands of identically-sized
+  small tensors* — the batched regime the paper targets.  They are fixed
+  three-operation TCR programs (one kernel per direction), so the tuning
+  space is the per-kernel decomposition product (~half a million points at
+  N=12, the paper's "512,000 possible tensor-code variants" for Lg3t).
+"""
+
+from __future__ import annotations
+
+from repro.dsl.parser import parse_contraction
+from repro.tcr.program import TCROperation, TCRProgram
+from repro.core.tensor import TensorRef
+from repro.workloads.base import Workload
+
+__all__ = ["EQN1_DSL", "eqn1", "lg3", "lg3t", "DEFAULT_ELEMENTS"]
+
+#: Mesh elements for the batched Nekbone kernels (Nekbone's default deck
+#: runs hundreds to thousands of elements per rank).
+DEFAULT_ELEMENTS = 512
+
+#: The exact OCTOPI input of the paper's Fig. 2(a), with the sizes it uses.
+EQN1_DSL = """
+# v = C u, p.168 of Deville/Fischer/Mund -- Eqn.(1) of the paper
+dim i j k l m n = 10
+V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+"""
+
+
+def eqn1(n: int = 10) -> Workload:
+    """The paper's Eqn.(1) example at polynomial order ``n - 1``."""
+    text = EQN1_DSL.replace("= 10", f"= {n}")
+    contraction = parse_contraction(text, name="eqn1")
+    return Workload(
+        name="eqn1",
+        description="Spectral element example from Figure 2 (single element)",
+        contraction=contraction,
+        paper={
+            "speedup_vs_seq": 0.63,
+            "gflops_gtx980": 1.99,
+            "gflops_k20": 1.42,
+            "gflops_c2050": 1.89,
+        },
+    )
+
+
+def _lg3_program(n: int, elements: int, name: str) -> TCRProgram:
+    dims = {"e": elements, "i": n, "j": n, "k": n, "l": n}
+    arrays = {
+        "d": ("i", "l"),
+        "u": ("e", "l", "j", "k"),
+        "ur": ("e", "i", "j", "k"),
+        "us": ("e", "i", "j", "k"),
+        "ut": ("e", "i", "j", "k"),
+    }
+    ops = [
+        # ur(e,i,j,k) = sum_l D(i,l) u(e,l,j,k)   (derivative in r)
+        TCROperation(
+            TensorRef("ur", ("e", "i", "j", "k")),
+            (TensorRef("d", ("i", "l")), TensorRef("u", ("e", "l", "j", "k"))),
+        ),
+        # us(e,i,j,k) = sum_l D(j,l) u(e,i,l,k)   (derivative in s)
+        TCROperation(
+            TensorRef("us", ("e", "i", "j", "k")),
+            (TensorRef("d", ("j", "l")), TensorRef("u", ("e", "i", "l", "k"))),
+        ),
+        # ut(e,i,j,k) = sum_l D(k,l) u(e,i,j,l)   (derivative in t)
+        TCROperation(
+            TensorRef("ut", ("e", "i", "j", "k")),
+            (TensorRef("d", ("k", "l")), TensorRef("u", ("e", "i", "j", "l"))),
+        ),
+    ]
+    return TCRProgram(name=name, dims=dims, arrays=arrays, operations=ops)
+
+
+def _lg3t_program(
+    n: int, elements: int, name: str, output_name: str = "u"
+) -> TCRProgram:
+    dims = {"e": elements, "i": n, "j": n, "k": n, "l": n}
+    arrays = {
+        "dt": ("i", "l"),
+        "d": ("l", "j"),
+        "ur": ("e", "l", "j", "k"),
+        "us": ("e", "i", "l", "k"),
+        "ut": ("e", "i", "j", "l"),
+        output_name: ("e", "i", "j", "k"),
+    }
+    out = TensorRef(output_name, ("e", "i", "j", "k"))
+    ops = [
+        # u += D^T ur : u(e,i,j,k) += Dt(i,l) ur(e,l,j,k)
+        TCROperation(
+            out, (TensorRef("dt", ("i", "l")), TensorRef("ur", ("e", "l", "j", "k")))
+        ),
+        # u += us D   : u(e,i,j,k) += us(e,i,l,k) D(l,j)
+        TCROperation(
+            out, (TensorRef("us", ("e", "i", "l", "k")), TensorRef("d", ("l", "j")))
+        ),
+        # u += ut D   : u(e,i,j,k) += ut(e,i,j,l) D(l,k)
+        TCROperation(
+            out, (TensorRef("ut", ("e", "i", "j", "l")), TensorRef("d", ("l", "k")))
+        ),
+    ]
+    return TCRProgram(name=name, dims=dims, arrays=arrays, operations=ops)
+
+
+def lg3(n: int = 12, elements: int = DEFAULT_ELEMENTS) -> Workload:
+    """``local_grad3``: three tensor derivatives per mesh element."""
+    return Workload(
+        name="lg3",
+        description="local_grad3 from Nekbone",
+        program=_lg3_program(n, elements, "lg3"),
+        paper={
+            "speedup_vs_seq": 23.74,
+            "gflops_gtx980": 42.74,
+            "gflops_k20": 41.52,
+            "gflops_c2050": 42.47,
+        },
+    )
+
+
+def lg3t(
+    n: int = 12, elements: int = DEFAULT_ELEMENTS, output_name: str = "u"
+) -> Workload:
+    """``local_grad3t``: the transpose-accumulate of :func:`lg3`.
+
+    ``output_name`` renames the result array (needed when composing with
+    :func:`lg3` in one joint program, where ``u`` is already the input).
+    """
+    return Workload(
+        name="lg3t",
+        description="local_grad3t from Nekbone",
+        program=_lg3t_program(n, elements, "lg3t", output_name),
+        paper={
+            "speedup_vs_seq": 22.87,
+            "gflops_gtx980": 41.11,
+            "gflops_k20": 38.38,
+            "gflops_c2050": 34.99,
+            "search_space": 512000,
+        },
+    )

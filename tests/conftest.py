@@ -1,0 +1,79 @@
+"""Shared fixtures: small, fast instances of every pipeline object."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.contraction import Contraction
+from repro.core.tensor import TensorRef
+from repro.dsl.parser import parse_contraction
+from repro.tcr.program import TCROperation, TCRProgram
+
+EQN1_TEXT = """
+dim i j k l m n = 4
+V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+"""
+
+
+@pytest.fixture
+def eqn1_small() -> Contraction:
+    """The paper's Eqn.(1) at extent 4 (cheap enough for exhaustive checks)."""
+    return parse_contraction(EQN1_TEXT, name="eqn1")
+
+
+@pytest.fixture
+def matmul() -> Contraction:
+    """Plain matrix multiply C[i,j] = A[i,k] B[k,j] at extent 6."""
+    return Contraction(
+        output=TensorRef("Cm", ("i", "j")),
+        terms=(TensorRef("A", ("i", "k")), TensorRef("B", ("k", "j"))),
+        dims={"i": 6, "j": 6, "k": 6},
+        name="matmul",
+    )
+
+
+@pytest.fixture
+def mttkrp() -> Contraction:
+    """A 3-term contraction with a rank-3 operand (MTTKRP-like)."""
+    return Contraction(
+        output=TensorRef("M", ("i", "r")),
+        terms=(
+            TensorRef("X", ("i", "j", "k")),
+            TensorRef("B", ("j", "r")),
+            TensorRef("Cf", ("k", "r")),
+        ),
+        dims={"i": 4, "j": 4, "k": 4, "r": 4},
+        name="mttkrp",
+    )
+
+
+@pytest.fixture
+def two_op_program() -> TCRProgram:
+    """temp1[i,k] += A[i,j] B[j,k];  Y[i,l] += temp1[i,k] C[k,l]."""
+    return TCRProgram(
+        name="chain",
+        dims={"i": 4, "j": 4, "k": 4, "l": 4},
+        arrays={
+            "A": ("i", "j"),
+            "B": ("j", "k"),
+            "C": ("k", "l"),
+            "temp1": ("i", "k"),
+            "Y": ("i", "l"),
+        },
+        operations=[
+            TCROperation(
+                TensorRef("temp1", ("i", "k")),
+                (TensorRef("A", ("i", "j")), TensorRef("B", ("j", "k"))),
+            ),
+            TCROperation(
+                TensorRef("Y", ("i", "l")),
+                (TensorRef("temp1", ("i", "k")), TensorRef("C", ("k", "l"))),
+            ),
+        ],
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,190 @@
+"""Tests for the Nekbone mini-app and the NWChem triples driver."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nekbone import (
+    NekbonePerformance,
+    NekboneProblem,
+    cg_solve,
+    derivative_matrix,
+    gll_points_weights,
+    local_grad3,
+    local_grad3t,
+)
+from repro.apps.nwchem_driver import TriplesDriver
+from repro.errors import SimulationError
+from repro.gpusim.arch import C2050, K20
+
+
+class TestGLL:
+    def test_endpoints_and_symmetry(self):
+        x, w = gll_points_weights(8)
+        assert x[0] == -1.0 and x[-1] == 1.0
+        np.testing.assert_allclose(x, -x[::-1], atol=1e-12)
+        np.testing.assert_allclose(w, w[::-1], atol=1e-12)
+
+    def test_weights_integrate_constants(self):
+        _x, w = gll_points_weights(6)
+        assert w.sum() == pytest.approx(2.0)  # integral of 1 over [-1,1]
+
+    def test_quadrature_exactness(self):
+        # GLL with n points is exact for polynomials of degree 2n-3.
+        x, w = gll_points_weights(5)
+        for k in range(0, 2 * 5 - 2):
+            integral = float(np.sum(w * x**k))
+            exact = 0.0 if k % 2 else 2.0 / (k + 1)
+            assert integral == pytest.approx(exact, abs=1e-10)
+
+    def test_too_few_points(self):
+        with pytest.raises(SimulationError):
+            gll_points_weights(1)
+
+
+class TestDerivativeMatrix:
+    def test_differentiates_polynomials_exactly(self):
+        n = 7
+        x, _w = gll_points_weights(n)
+        d = derivative_matrix(n)
+        for k in range(n):  # exact for degree < n
+            np.testing.assert_allclose(
+                d @ x**k, k * x ** max(k - 1, 0) if k else np.zeros(n), atol=1e-9
+            )
+
+    def test_rows_sum_to_zero(self):
+        d = derivative_matrix(9)
+        np.testing.assert_allclose(d.sum(axis=1), 0.0, atol=1e-9)
+
+
+class TestLocalGrad:
+    def test_matches_tcr_workloads(self):
+        from repro.workloads.spectral import lg3
+
+        n, e = 5, 2
+        program = lg3(n, e).program
+        inputs = program.random_inputs(1)
+        out = program.evaluate_all(inputs)
+        ur, us, ut = local_grad3(inputs["d"], inputs["u"])
+        np.testing.assert_allclose(out["ur"], ur)
+        np.testing.assert_allclose(out["us"], us)
+        np.testing.assert_allclose(out["ut"], ut)
+
+    def test_grad_of_constant_is_zero(self):
+        d = derivative_matrix(5)
+        u = np.ones((2, 5, 5, 5))
+        for g in local_grad3(d, u):
+            np.testing.assert_allclose(g, 0.0, atol=1e-9)
+
+    def test_transpose_adjointness(self):
+        rng = np.random.default_rng(0)
+        d = rng.standard_normal((4, 4))
+        u = rng.standard_normal((2, 4, 4, 4))
+        v = tuple(rng.standard_normal((2, 4, 4, 4)) for _ in range(3))
+        lhs = sum(np.vdot(g, vv) for g, vv in zip(local_grad3(d, u), v))
+        rhs = np.vdot(u, local_grad3t(d, *v))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestNekboneCG:
+    def test_operator_is_spd(self):
+        problem = NekboneProblem(elements=2, n=4, lam=1.0, seed=0)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            u = rng.standard_normal(problem.shape)
+            v = rng.standard_normal(problem.shape)
+            # symmetry
+            assert np.vdot(v, problem.apply(u)) == pytest.approx(
+                np.vdot(u, problem.apply(v)), rel=1e-8
+            )
+            # positive definiteness
+            assert np.vdot(u, problem.apply(u)) > 0
+
+    def test_cg_converges(self):
+        problem = NekboneProblem(elements=2, n=5, lam=1.0, seed=0)
+        b = problem.random_rhs(2)
+        x, history = cg_solve(problem, b, tol=1e-9, max_iterations=600)
+        assert history[-1] < 1e-9
+        np.testing.assert_allclose(problem.apply(x), b, atol=1e-6)
+
+    def test_residuals_mostly_decrease(self):
+        problem = NekboneProblem(elements=2, n=4, lam=1.0)
+        b = problem.random_rhs(1)
+        _x, history = cg_solve(problem, b, tol=1e-10, max_iterations=300)
+        assert history[-1] < history[0] * 1e-6
+
+    def test_bad_shape_rejected(self):
+        problem = NekboneProblem(elements=2, n=4)
+        with pytest.raises(SimulationError, match="shape"):
+            problem.apply(np.zeros((1, 4, 4, 4)))
+
+    def test_flop_bookkeeping(self):
+        problem = NekboneProblem(elements=10, n=6)
+        assert problem.contraction_flops_per_iteration() == 6 * 2 * 10 * 6**4
+        assert problem.vector_flops_per_iteration() == 16 * 10 * 6**3
+
+
+class TestNekbonePerformance:
+    @pytest.fixture(scope="class")
+    def perf(self):
+        return NekbonePerformance(NekboneProblem(elements=128, n=12))
+
+    def test_cpu_ladder(self, perf):
+        seq = perf.sequential_gflops()
+        omp = perf.openmp_gflops()
+        assert 4 < seq < 12       # paper: 7.79
+        assert 2.0 < omp / seq < 4.2  # paper: 3.1x scaling
+
+    def test_openacc_strategies_ordered(self, perf):
+        from repro.autotune import Autotuner
+        from repro.workloads.spectral import lg3, lg3t
+
+        tuner = Autotuner(K20, max_evaluations=40, pool_size=800, seed=3)
+        t3 = lg3(12, 128).tune(tuner)
+        t3t = lg3t(12, 128).tune(tuner)
+        naive = perf.openacc_gflops(K20, "naive")
+        optimized = perf.openacc_gflops(K20, "optimized", t3, t3t)
+        barracuda = perf.barracuda_gflops(K20, t3, t3t)
+        assert naive < optimized
+        assert naive < barracuda
+        assert naive < perf.sequential_gflops()  # Table III's headline
+
+    def test_unknown_strategy(self, perf):
+        with pytest.raises(SimulationError, match="strategy"):
+            perf.openacc_gflops(K20, "magic")
+
+    def test_optimized_requires_configs(self, perf):
+        with pytest.raises(SimulationError, match="tuned"):
+            perf.openacc_gflops(C2050, "optimized")
+
+
+class TestTriplesDriver:
+    def test_blocks_permutation_equivalent(self):
+        driver = TriplesDriver(n=4, seed=1)
+        blocks = driver.accumulate_t3()
+        assert len(blocks) == 27
+        for family in ("s1", "d1", "d2"):
+            base = np.sort(blocks[f"{family}_1"].ravel())
+            for k in range(2, 10):
+                np.testing.assert_allclose(
+                    np.sort(blocks[f"{family}_{k}"].ravel()), base
+                )
+
+    def test_energy_deterministic_and_finite(self):
+        a = TriplesDriver(n=4, seed=2).triples_energy()
+        b = TriplesDriver(n=4, seed=2).triples_energy()
+        assert a == b
+        assert np.isfinite(a) and a > 0
+
+    def test_family_gflops_aggregation(self):
+        from repro.autotune import Autotuner
+        from repro.gpusim.arch import GTX980
+        from repro.workloads import nwchem_family
+
+        tuner = Autotuner(GTX980, max_evaluations=20, pool_size=300, seed=0)
+        results = [w.tune(tuner) for w in nwchem_family("d1")[:2]]
+        rate = TriplesDriver.family_gflops(results)
+        assert rate > 0
+
+    def test_small_extent_rejected(self):
+        with pytest.raises(SimulationError):
+            TriplesDriver(n=1)

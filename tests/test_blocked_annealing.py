@@ -1,0 +1,120 @@
+"""Tests for the blocked-contraction driver and the annealing searcher."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blocked import BlockedContraction
+from repro.autotune import Autotuner
+from repro.errors import SearchError, SimulationError
+from repro.gpusim.arch import GTX980
+from repro.gpusim.perfmodel import GPUPerformanceModel
+from repro.surf import ConfigurationEvaluator, RandomSearch
+from repro.surf.annealing import AnnealingSearch
+from repro.tcr.decision import decide_search_space
+from repro.tcr.space import TuningSpace
+from repro.util.rng import spawn_rng
+
+
+class TestBlockedContraction:
+    def test_blocked_equals_direct(self):
+        blocked = BlockedContraction(block=4, blocks_per_mode=3)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((12, 12))
+        b = rng.standard_normal((12, 12))
+        np.testing.assert_allclose(
+            blocked.contract(a, b), blocked.reference(a, b), atol=1e-10
+        )
+
+    def test_shapes_validated(self):
+        blocked = BlockedContraction(block=4, blocks_per_mode=2)
+        with pytest.raises(SimulationError, match="8x8"):
+            blocked.contract(np.zeros((4, 4)), np.zeros((8, 8)))
+
+    def test_bad_params(self):
+        with pytest.raises(SimulationError):
+            BlockedContraction(block=1)
+        with pytest.raises(SimulationError):
+            BlockedContraction(blocks_per_mode=0)
+
+    def test_flops(self):
+        blocked = BlockedContraction(block=16, blocks_per_mode=4)
+        assert blocked.total_flops() == 2 * 64**3
+
+    def test_modeled_rate_scales_with_blocks(self):
+        blocked_small = BlockedContraction(block=16, blocks_per_mode=2)
+        blocked_big = BlockedContraction(block=16, blocks_per_mode=6)
+        tuner = Autotuner(GTX980, max_evaluations=25, pool_size=400, seed=1)
+        tuned = blocked_small.tune_block_kernel(tuner)
+        # Larger grids amortize the per-solve transfers better.
+        small_rate = blocked_small.modeled_gflops(tuned)
+        big_rate = blocked_big.modeled_gflops(tuned)
+        assert big_rate > 0 and small_rate > 0
+        assert blocked_big.modeled_seconds(tuned) > blocked_small.modeled_seconds(tuned)
+
+
+class TestAnnealing:
+    @pytest.fixture
+    def setup(self, eqn1_small):
+        from repro.core.pipeline import compile_contraction
+
+        program = compile_contraction(eqn1_small).minimal_flop_variants()[0].program
+        space = TuningSpace([decide_search_space(program)])
+        pool = space.sample_pool(min(300, space.size()), spawn_rng(0, "sa-pool"))
+        model = GPUPerformanceModel(GTX980)
+        return program, pool, model
+
+    def test_respects_budget(self, setup):
+        program, pool, model = setup
+        ev = ConfigurationEvaluator([program], model, seed=0)
+        result = AnnealingSearch(max_evaluations=40, seed=0).search(
+            pool, ev.evaluate_batch
+        )
+        assert result.evaluations == 40
+        assert result.searcher == "annealing"
+
+    def test_never_reevaluates(self, setup):
+        program, pool, model = setup
+        seen = []
+
+        def evaluate(batch):
+            seen.extend(id(c) for c in batch)
+            ev = ConfigurationEvaluator([program], model, seed=0)
+            return ev.evaluate_batch(batch)
+
+        AnnealingSearch(max_evaluations=50, seed=1).search(pool, evaluate)
+        assert len(seen) == len(set(seen))
+
+    def test_deterministic(self, setup):
+        program, pool, model = setup
+
+        def run():
+            ev = ConfigurationEvaluator([program], model, seed=2)
+            return AnnealingSearch(max_evaluations=40, seed=2).search(
+                pool, ev.evaluate_batch
+            ).best_objective
+
+        assert run() == run()
+
+    def test_competitive_with_random(self, setup):
+        program, pool, model = setup
+        wins = 0
+        for seed in range(5):
+            ev_a = ConfigurationEvaluator([program], model, seed=seed)
+            sa = AnnealingSearch(max_evaluations=60, seed=seed).search(
+                pool, ev_a.evaluate_batch
+            )
+            ev_r = ConfigurationEvaluator([program], model, seed=seed)
+            rnd = RandomSearch(batch_size=10, max_evaluations=60, seed=seed).search(
+                pool, ev_r.evaluate_batch
+            )
+            if sa.best_objective <= rnd.best_objective * 1.05:
+                wins += 1
+        assert wins >= 2  # a sane metaheuristic holds its own
+
+    def test_parameter_validation(self):
+        with pytest.raises(SearchError):
+            AnnealingSearch(max_evaluations=0)
+        with pytest.raises(SearchError):
+            AnnealingSearch(cooling=1.5)
+        with pytest.raises(SearchError, match="empty"):
+            AnnealingSearch().search([], lambda b: [])

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune", "eqn1"])
+        assert args.arch == "gtx980"
+        assert args.evals == 100
+        assert args.searcher == "surf"
+
+    def test_report_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "table9"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "eqn1" in out and "GTX 980" in out
+
+    def test_variants_inline(self, capsys):
+        code = main(
+            ["variants", "V[i j] = Sum([k], A[i k] * B[k j])", "--default-dim", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 variants" in out
+
+    def test_variants_eqn1_file(self, tmp_path, capsys):
+        path = tmp_path / "eqn1.oct"
+        path.write_text(
+            "dim i j k l m n = 6\n"
+            "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])\n"
+        )
+        assert main(["variants", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "15 variants" in out
+        assert "6 with minimal flops" in out
+
+    def test_codegen_tcr(self, capsys):
+        assert main(["codegen", "lg3", "--kind", "tcr"]) == 0
+        out = capsys.readouterr().out
+        assert "operations:" in out
+
+    def test_codegen_orio(self, capsys):
+        assert main(["codegen", "d1_1", "--kind", "orio"]) == 0
+        out = capsys.readouterr().out
+        assert "performance_params" in out
+
+    def test_codegen_c(self, capsys):
+        assert main(["codegen", "lg3", "--kind", "c"]) == 0
+        assert "for (" in capsys.readouterr().out
+
+    def test_tune_small(self, capsys):
+        code = main(
+            ["tune", "d1_1", "--evals", "15", "--pool", "200", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GFlops" in out and "best configuration" in out
+
+    def test_tune_dsl_file(self, tmp_path, capsys):
+        path = tmp_path / "mm.oct"
+        path.write_text("dim i j k = 16\nCm[i j] = Sum([k], A[i k] * B[k j])\n")
+        code = main(["tune", str(path), "--evals", "10", "--pool", "100"])
+        assert code == 0
+
+    def test_unknown_workload_errors(self, capsys):
+        assert main(["tune", "not-a-workload"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_table1(self, capsys):
+        assert main(["report", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_codegen_cuda_small(self, capsys):
+        code = main(
+            ["codegen", "d2_1", "--kind", "cuda", "--evals", "10", "--pool", "100"]
+        )
+        assert code == 0
+        assert "__global__" in capsys.readouterr().out
+
+
+class TestRoofline:
+    def test_roofline_command(self, capsys):
+        code = main(
+            ["roofline", "d2_1", "--evals", "10", "--pool", "100", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bound" in out and "roof" in out

@@ -1,0 +1,132 @@
+"""Tests for the Contraction IR: classification, costs, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.contraction import Contraction
+from repro.core.tensor import TensorRef
+from repro.errors import ContractionError
+
+
+class TestClassification:
+    def test_eqn1_index_sets(self, eqn1_small):
+        assert eqn1_small.output_indices == ("i", "j", "k")
+        assert set(eqn1_small.summation_indices) == {"l", "m", "n"}
+        assert set(eqn1_small.all_indices) == set("ijklmn")
+
+    def test_output_first_in_all_indices(self, eqn1_small):
+        assert eqn1_small.all_indices[:3] == ("i", "j", "k")
+
+    def test_outer_product_has_no_summation(self):
+        c = Contraction(
+            output=TensorRef("O", ("i", "j")),
+            terms=(TensorRef("a", ("i",)), TensorRef("b", ("j",))),
+            dims={"i": 3, "j": 4},
+        )
+        assert c.summation_indices == ()
+
+    def test_rejects_broadcast_output(self):
+        with pytest.raises(ContractionError, match="broadcast"):
+            Contraction(
+                output=TensorRef("O", ("i", "j")),
+                terms=(TensorRef("a", ("i",)),),
+                dims={"i": 3, "j": 4},
+            )
+
+    def test_rejects_missing_dims(self):
+        with pytest.raises(ContractionError, match="missing dimensions"):
+            Contraction(
+                output=TensorRef("O", ("i",)),
+                terms=(TensorRef("a", ("i", "j")),),
+                dims={"i": 3},
+            )
+
+    def test_rejects_empty_terms(self):
+        with pytest.raises(ContractionError, match="at least one"):
+            Contraction(output=TensorRef("O", ("i",)), terms=(), dims={"i": 3})
+
+
+class TestCosts:
+    def test_eqn1_naive_flops(self, eqn1_small):
+        # 4 terms -> 4 flops per point over a 4^6 space.
+        assert eqn1_small.naive_flops() == 4 * 4**6
+
+    def test_matmul_flops(self, matmul):
+        assert matmul.naive_flops() == 2 * 6**3
+
+    def test_iteration_space(self, mttkrp):
+        assert mttkrp.iteration_space() == 4**4
+
+    def test_sizes(self, eqn1_small):
+        assert eqn1_small.output_size() == 4**3
+        # A, B, C are 16 each; U is 64.
+        assert eqn1_small.input_elements() == 3 * 16 + 64
+
+
+class TestEvaluation:
+    def test_matches_manual_matmul(self, matmul):
+        inputs = matmul.random_inputs(1)
+        np.testing.assert_allclose(
+            matmul.evaluate(inputs), inputs["A"] @ inputs["B"]
+        )
+
+    def test_eqn1_matches_loop_reference(self, eqn1_small):
+        inputs = eqn1_small.random_inputs(2)
+        a, b, c, u = inputs["A"], inputs["B"], inputs["C"], inputs["U"]
+        n = 4
+        expected = np.zeros((n, n, n))
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    for l in range(n):
+                        for m in range(n):
+                            for nn in range(n):
+                                expected[i, j, k] += (
+                                    a[l, k] * b[m, j] * c[nn, i] * u[l, m, nn]
+                                )
+        np.testing.assert_allclose(eqn1_small.evaluate(inputs), expected)
+
+    def test_missing_input(self, matmul):
+        with pytest.raises(ContractionError, match="missing input"):
+            matmul.evaluate({"A": np.zeros((6, 6))})
+
+    def test_wrong_shape(self, matmul):
+        with pytest.raises(ContractionError, match="shape"):
+            matmul.evaluate({"A": np.zeros((2, 2)), "B": np.zeros((6, 6))})
+
+    def test_repeated_tensor_gets_one_input(self):
+        c = Contraction(
+            output=TensorRef("G", ("i", "j")),
+            terms=(TensorRef("A", ("i", "k")), TensorRef("A", ("j", "k"))),
+            dims={"i": 4, "j": 4, "k": 4},
+        )
+        inputs = c.random_inputs(0)
+        assert set(inputs) == {"A"}
+        np.testing.assert_allclose(
+            c.evaluate(inputs), inputs["A"] @ inputs["A"].T
+        )
+
+    def test_random_inputs_deterministic(self, matmul):
+        a = matmul.random_inputs(5)
+        b = matmul.random_inputs(5)
+        np.testing.assert_array_equal(a["A"], b["A"])
+
+
+class TestRenameAndFromEinsum:
+    def test_rename_consistent(self, matmul):
+        renamed = matmul.rename({"k": "z"})
+        assert renamed.summation_indices == ("z",)
+        inputs = matmul.random_inputs(1)
+        np.testing.assert_allclose(
+            renamed.evaluate(inputs), matmul.evaluate(inputs)
+        )
+
+    def test_from_einsum_names_and_dims(self):
+        c = Contraction.from_einsum("lk,mj,ni,lmn->ijk", ["A", "B", "C", "U"], 4)
+        assert [t.name for t in c.terms] == ["A", "B", "C", "U"]
+        assert c.output.indices == ("i", "j", "k")
+
+    def test_einsum_spec_is_explicit(self, mttkrp):
+        spec = mttkrp.einsum_spec()
+        assert "->" in spec
+        assert len(spec.split("->")[1]) == 2

@@ -1,0 +1,93 @@
+"""Tests for OCTOPI's loop-fusion analysis."""
+
+from repro.core.fusion import fusion_plan
+from repro.core.pipeline import compile_contraction
+from repro.core.variants import generate_variants
+
+
+class TestFusionPlan:
+    def test_chain_fuses(self, two_op_program):
+        plan = fusion_plan(two_op_program)
+        assert len(plan.groups) == 1
+        group = plan.groups[0]
+        assert (group.start, group.stop) == (0, 2)
+        # Shared loops must lie inside the producer's output indices.
+        assert set(group.shared) <= {"i", "k"}
+
+    def test_fused_pairs_counted(self, two_op_program):
+        assert fusion_plan(two_op_program).fused_pairs() == 1
+
+    def test_group_lookup(self, two_op_program):
+        plan = fusion_plan(two_op_program)
+        assert plan.group_of(0) is plan.groups[0]
+        assert plan.group_of(1) is plan.groups[0]
+
+    def test_eqn1_best_variant_fuses_all_three(self, eqn1_small):
+        best = min(generate_variants(eqn1_small), key=lambda v: v.flops)
+        plan = fusion_plan(best.program)
+        # The paper fuses all three nests under shared outer loops.
+        assert plan.groups[0].size >= 2
+
+    def test_legality_producer_completeness(self, eqn1_small):
+        # For every group, the shared set is inside every member producer's
+        # output indices (the correctness condition).
+        for variant in generate_variants(eqn1_small):
+            plan = fusion_plan(variant.program)
+            for group in plan.groups:
+                for p in range(group.start, group.stop - 1):
+                    producer = variant.program.operations[p]
+                    assert set(group.shared) <= set(producer.output.indices)
+
+    def test_singleton_groups_share_nothing(self, eqn1_small):
+        for variant in generate_variants(eqn1_small):
+            plan = fusion_plan(variant.program)
+            for group in plan.groups:
+                if group.size == 1:
+                    assert group.shared == ()
+
+
+class TestFusionEffects:
+    def test_storage_shrinks_or_holds(self, eqn1_small):
+        for variant in generate_variants(eqn1_small):
+            plan = fusion_plan(variant.program)
+            assert (
+                plan.temp_storage_elements()
+                <= plan.unfused_temp_storage_elements()
+            )
+
+    def test_chain_temp_slice(self, two_op_program):
+        plan = fusion_plan(two_op_program)
+        # temp1 has layout (i, k); whatever is shared drops out of storage.
+        shrunk = plan.temp_storage_elements()
+        full = plan.unfused_temp_storage_elements()
+        assert full == 16
+        expected = 16
+        for idx in plan.groups[0].shared:
+            expected //= 4
+        assert shrunk == expected
+
+    def test_scalarized_when_all_indices_shared(self, two_op_program):
+        plan = fusion_plan(two_op_program)
+        if set(plan.groups[0].shared) == {"i", "k"}:
+            assert plan.scalarized_temporaries() == ("temp1",)
+
+    def test_unrelated_ops_do_not_fuse(self):
+        from repro.core.tensor import TensorRef
+        from repro.tcr.program import TCROperation, TCRProgram
+
+        program = TCRProgram(
+            name="nofuse",
+            dims={"i": 3, "j": 3},
+            arrays={"a": ("i", "j"), "b": ("i", "j"), "x": ("i", "j"), "y": ("i", "j")},
+            operations=[
+                TCROperation(TensorRef("x", ("i", "j")), (TensorRef("a", ("i", "j")),)),
+                TCROperation(TensorRef("y", ("i", "j")), (TensorRef("b", ("i", "j")),)),
+            ],
+        )
+        plan = fusion_plan(program)
+        # No dataflow between the operations -> no fusion benefit sought.
+        assert len(plan.groups) == 2
+
+    def test_compile_contraction_attaches_plans(self, eqn1_small):
+        compiled = compile_contraction(eqn1_small)
+        assert len(compiled.fusion) == len(compiled.variants)

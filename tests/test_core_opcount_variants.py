@@ -1,0 +1,118 @@
+"""Tests for operation counting and the tree -> TCR lowering."""
+
+import pytest
+
+from repro.core.opcount import (
+    program_operation_count,
+    tree_operation_count,
+    tree_temp_elements,
+)
+from repro.core.strength_reduction import enumerate_trees
+from repro.core.variants import generate_variants, lower_tree_to_tcr
+from repro.errors import ContractionError
+
+
+class TestOpcount:
+    def test_eqn1_minimum_is_n4_scale(self, eqn1_small):
+        # Strength reduction turns O(N^6) into three O(N^4) nests:
+        # 3 * 2 * N^4 flops.
+        n = 4
+        counts = [tree_operation_count(t) for t in enumerate_trees(eqn1_small)]
+        assert min(counts) == 3 * 2 * n**4
+
+    def test_six_minimal_variants(self, eqn1_small):
+        # "six versions all perform the same amount of floating-point
+        # computation" (Section II).
+        counts = [tree_operation_count(t) for t in enumerate_trees(eqn1_small)]
+        assert counts.count(min(counts)) == 6
+
+    def test_tree_costs_bracket_naive(self, eqn1_small):
+        # The best tree is far below the naive nest; the worst tree can
+        # slightly exceed it (every binary op pays its own accumulate,
+        # whereas the fused n-ary loop pays one per point).
+        naive = eqn1_small.naive_flops()
+        counts = [tree_operation_count(t) for t in enumerate_trees(eqn1_small)]
+        assert min(counts) * 10 < naive
+        assert max(counts) <= naive * 1.5
+
+    def test_tree_count_matches_program_count(self, eqn1_small):
+        for tree in enumerate_trees(eqn1_small):
+            program = lower_tree_to_tcr(tree)
+            assert tree_operation_count(tree) == program_operation_count(program)
+
+    def test_temp_elements_match_program(self, eqn1_small):
+        for tree in enumerate_trees(eqn1_small):
+            program = lower_tree_to_tcr(tree)
+            assert tree_temp_elements(tree) == program.temp_elements()
+
+    def test_matmul_single_tree_cost(self, matmul):
+        [tree] = enumerate_trees(matmul)
+        assert tree_operation_count(tree) == 2 * 6**3
+        assert tree_temp_elements(tree) == 0
+
+
+class TestLowering:
+    def test_fig2b_shape(self, eqn1_small):
+        # The best-known variant lowers to the structure of Fig. 2(b).
+        variants = generate_variants(eqn1_small)
+        best = min(variants, key=lambda v: v.flops)
+        ops = best.program.operations
+        assert len(ops) == 3
+        assert ops[-1].output.name == "V"
+        assert best.program.temporaries == ("temp1", "temp2")
+
+    def test_temp_layouts_are_result_orders(self, eqn1_small):
+        for variant in generate_variants(eqn1_small):
+            program = variant.program
+            for op in program.operations[:-1]:
+                assert program.arrays[op.output.name] == op.output.indices
+
+    def test_variant_indices_dense(self, eqn1_small):
+        variants = generate_variants(eqn1_small)
+        assert [v.index for v in variants] == list(range(15))
+
+    def test_single_term_contraction_lowers(self):
+        from repro.core.contraction import Contraction
+        from repro.core.tensor import TensorRef
+
+        c = Contraction(
+            output=TensorRef("y", ("i",)),
+            terms=(TensorRef("a", ("i", "j")),),
+            dims={"i": 3, "j": 4},
+        )
+        [variant] = generate_variants(c)
+        assert len(variant.program.operations) == 1
+        assert variant.program.operations[0].reduction_indices == ("j",)
+
+    def test_conflicting_layouts_rejected(self):
+        from repro.core.contraction import Contraction
+        from repro.core.expr_tree import Leaf, Node
+        from repro.core.expr_tree import ContractionTree
+        from repro.core.tensor import TensorRef
+
+        c = Contraction(
+            output=TensorRef("g", ("i", "j")),
+            terms=(TensorRef("a", ("i", "k")), TensorRef("a", ("k", "j"))),
+            dims={"i": 3, "j": 3, "k": 3},
+        )
+        tree = ContractionTree(c, Node(Leaf(0), Leaf(1)))
+        with pytest.raises(ContractionError, match="distinct names"):
+            lower_tree_to_tcr(tree)
+
+    def test_output_name_collision_rejected(self):
+        from repro.core.contraction import Contraction
+        from repro.core.tensor import TensorRef
+
+        c = Contraction(
+            output=TensorRef("a", ("i", "j")),
+            terms=(TensorRef("a", ("i", "k")), TensorRef("b", ("k", "j"))),
+            dims={"i": 3, "j": 3, "k": 3},
+        )
+        [tree] = enumerate_trees(c)
+        with pytest.raises(ContractionError, match="also appears"):
+            lower_tree_to_tcr(tree)
+
+    def test_variant_str(self, matmul):
+        [variant] = generate_variants(matmul)
+        text = str(variant)
+        assert "variant 0" in text and "flops" in text

@@ -1,0 +1,67 @@
+"""Tests for the OCTOPI stage-1 driver (compile_dsl / compile_contraction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import compile_contraction, compile_dsl
+
+
+class TestCompileContraction:
+    def test_eqn1_variant_count(self, eqn1_small):
+        compiled = compile_contraction(eqn1_small)
+        assert len(compiled.variants) == 15
+        assert len(compiled.minimal_flop_variants()) == 6
+
+    def test_min_flops(self, eqn1_small):
+        compiled = compile_contraction(eqn1_small)
+        assert compiled.min_flops == min(v.flops for v in compiled.variants)
+
+    def test_max_variants(self, eqn1_small):
+        compiled = compile_contraction(eqn1_small, max_variants=4)
+        assert len(compiled.variants) == 4
+
+    def test_variant_accessor(self, eqn1_small):
+        compiled = compile_contraction(eqn1_small)
+        assert compiled.variant(3) is compiled.variants[3]
+
+    def test_all_variants_numerically_equal(self, mttkrp):
+        compiled = compile_contraction(mttkrp)
+        inputs = mttkrp.random_inputs(9)
+        reference = mttkrp.evaluate(inputs)
+        for variant in compiled.variants:
+            np.testing.assert_allclose(
+                variant.program.evaluate(inputs), reference, atol=1e-10
+            )
+
+
+class TestCompileDsl:
+    def test_single_statement(self):
+        results = compile_dsl(
+            "dim i j k = 4\nCm[i j] = Sum([k], A[i k] * B[k j])"
+        )
+        assert len(results) == 1
+        assert len(results[0].variants) == 1
+
+    def test_multi_statement(self):
+        results = compile_dsl(
+            """
+            dim i j k l = 3
+            T[i k] = Sum([j], A[i j] * B[j k])
+            Y[i l] = Sum([k], T2[i k] * C[k l])
+            """
+        )
+        assert len(results) == 2
+
+    def test_ranged_dims_specialize(self):
+        results = compile_dsl("dim i j k = 3..4\nCm[i j] = A[i k] * B[k j]")
+        assert len(results) == 2
+        assert results[0].contraction.dims["i"] == 3
+        assert results[1].contraction.dims["i"] == 4
+
+    def test_default_dim_forwarded(self):
+        [result] = compile_dsl("Cm[i j] = A[i k] * B[k j]", default_dim=5)
+        assert result.contraction.dims["k"] == 5
+
+    def test_error_without_dims(self):
+        with pytest.raises(Exception, match="dim"):
+            compile_dsl("Cm[i j] = A[i k] * B[k j]")

@@ -1,0 +1,157 @@
+"""Tests for Algorithm 1: contraction-tree enumeration (strength reduction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.contraction import Contraction
+from repro.core.expr_tree import ContractionTree, Leaf, Node
+from repro.core.strength_reduction import (
+    count_trees,
+    double_factorial,
+    enumerate_trees,
+    left_deep_tree,
+)
+from repro.core.tensor import TensorRef
+
+
+class TestCounting:
+    def test_double_factorial(self):
+        assert [double_factorial(k) for k in (-1, 0, 1, 2, 3, 5, 7)] == [
+            1, 1, 1, 2, 3, 15, 105,
+        ]
+
+    def test_count_trees_sequence(self):
+        # (2n-3)!!: 1, 1, 3, 15, 105 for n = 1..5.
+        assert [count_trees(n) for n in range(1, 6)] == [1, 1, 3, 15, 105]
+
+    def test_count_trees_rejects_zero(self):
+        with pytest.raises(Exception):
+            count_trees(0)
+
+
+def _n_term_contraction(n: int, dim: int = 3) -> Contraction:
+    """Chain contraction A0[x0 x1] * A1[x1 x2] * ... -> O[x0 xn]."""
+    terms = tuple(
+        TensorRef(f"a{t}", (f"x{t}", f"x{t + 1}")) for t in range(n)
+    )
+    dims = {f"x{t}": dim for t in range(n + 1)}
+    return Contraction(
+        output=TensorRef("o", ("x0", f"x{n}")), terms=terms, dims=dims,
+        name=f"chain{n}",
+    )
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_enumeration_matches_formula(self, n):
+        trees = enumerate_trees(_n_term_contraction(n))
+        assert len(trees) == count_trees(n)
+
+    def test_eqn1_has_fifteen_variants(self, eqn1_small):
+        # The paper: "OCTOPI generates fifteen different versions."
+        assert len(enumerate_trees(eqn1_small)) == 15
+
+    def test_trees_are_distinct(self, eqn1_small):
+        trees = enumerate_trees(eqn1_small)
+        canon = {t.root.canonical() for t in trees}
+        assert len(canon) == len(trees)
+
+    def test_trees_cover_all_terms(self, eqn1_small):
+        for tree in enumerate_trees(eqn1_small):
+            assert tree.root.leaves == frozenset(range(4))
+
+    def test_max_variants_cap(self, eqn1_small):
+        assert len(enumerate_trees(eqn1_small, max_variants=5)) == 5
+
+    def test_deterministic_order(self, eqn1_small):
+        a = [str(t) for t in enumerate_trees(eqn1_small)]
+        b = [str(t) for t in enumerate_trees(eqn1_small)]
+        assert a == b
+
+    def test_left_deep_present(self, mttkrp):
+        trees = enumerate_trees(mttkrp)
+        left_deep = left_deep_tree(mttkrp)
+        assert any(t.root == left_deep.root for t in trees)
+
+
+class TestTreeAnalysis:
+    def test_result_indices_match_paper_example(self, eqn1_small):
+        # tree ((C U) B) A with eager summation reproduces Fig. 2(b):
+        # temp1:(i,l,m) <- C:(n,i) * U:(l,m,n)
+        cu = Node(Leaf(2), Leaf(3))  # C is term 2, U term 3
+        cub = Node(cu, Leaf(1))
+        root = Node(cub, Leaf(0)).canonical()
+        tree = ContractionTree(eqn1_small, root)
+
+        def find(node):
+            # locate the (C U) node in the canonicalized tree
+            if isinstance(node, Node):
+                if node.leaves == frozenset({2, 3}):
+                    return node
+                return find(node.left) or find(node.right)
+            return None
+
+        cu_node = find(tree.root)
+        assert cu_node is not None
+        assert tree.result_indices(cu_node) == ("i", "l", "m")
+        assert tree.summed_at(cu_node) == ("n",)
+
+    def test_root_keeps_declared_output_order(self, eqn1_small):
+        for tree in enumerate_trees(eqn1_small):
+            assert tree.result_indices(tree.root) == ("i", "j", "k")
+
+    def test_unary_reduction_leaves(self):
+        # y[i] = Sum([j, s], A[i j] * w[s]): j occurs only in A and s only
+        # in w, so Algorithm 1's lines 5-9 sum both out eagerly before the
+        # multiply — two unary pre-reductions.
+        c = Contraction(
+            output=TensorRef("y", ("i",)),
+            terms=(TensorRef("a", ("i", "j")), TensorRef("w", ("s",))),
+            dims={"i": 3, "j": 3, "s": 3},
+        )
+        [tree] = enumerate_trees(c)
+        reducing = tree.reducing_leaves()
+        assert len(reducing) == 2
+        summed = {tree.summed_at(leaf) for leaf in reducing}
+        assert summed == {("j",), ("s",)}
+        # And the factored form is numerically the same computation.
+        from repro.core.variants import lower_tree_to_tcr
+
+        inputs = c.random_inputs(0)
+        np.testing.assert_allclose(
+            lower_tree_to_tcr(tree).evaluate(inputs), c.evaluate(inputs)
+        )
+
+    def test_internal_nodes_bottom_up(self, eqn1_small):
+        for tree in enumerate_trees(eqn1_small):
+            seen: set[frozenset] = set()
+            for node in tree.internal_nodes():
+                for child in (node.left, node.right):
+                    if isinstance(child, Node):
+                        assert child.leaves in seen
+                seen.add(node.leaves)
+
+
+class TestNumericalEquivalence:
+    def test_all_eqn1_trees_agree(self, eqn1_small):
+        inputs = eqn1_small.random_inputs(0)
+        reference = eqn1_small.evaluate(inputs)
+        from repro.core.variants import lower_tree_to_tcr
+
+        for tree in enumerate_trees(eqn1_small):
+            program = lower_tree_to_tcr(tree)
+            np.testing.assert_allclose(
+                program.evaluate(inputs), reference, atol=1e-10
+            )
+
+    def test_five_term_trees_agree(self):
+        c = _n_term_contraction(5, dim=2)
+        inputs = c.random_inputs(0)
+        reference = c.evaluate(inputs)
+        from repro.core.variants import lower_tree_to_tcr
+
+        for tree in enumerate_trees(c):
+            program = lower_tree_to_tcr(tree)
+            np.testing.assert_allclose(
+                program.evaluate(inputs), reference, atol=1e-10
+            )

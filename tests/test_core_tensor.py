@@ -1,0 +1,78 @@
+"""Tests for TensorRef (index binding, shapes, strides, parsing)."""
+
+import pytest
+
+from repro.core.tensor import TensorRef
+from repro.errors import ContractionError
+
+
+class TestConstruction:
+    def test_basic(self):
+        ref = TensorRef("A", ("i", "j"))
+        assert ref.rank == 2
+        assert ref.index_set == frozenset({"i", "j"})
+
+    def test_list_coerced_to_tuple(self):
+        ref = TensorRef("A", ["i", "j"])
+        assert isinstance(ref.indices, tuple)
+
+    def test_rejects_bad_index_name(self):
+        with pytest.raises(ContractionError, match="invalid index"):
+            TensorRef("A", ("I",))
+        with pytest.raises(ContractionError, match="invalid index"):
+            TensorRef("A", ("1x",))
+
+    def test_rejects_repeated_index(self):
+        with pytest.raises(ContractionError, match="repeats"):
+            TensorRef("A", ("i", "i"))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ContractionError, match="invalid tensor name"):
+            TensorRef("", ("i",))
+
+    def test_scalar_ref(self):
+        ref = TensorRef("s", ())
+        assert ref.rank == 0
+        assert ref.size({}) == 1
+
+
+class TestGeometry:
+    def test_shape_and_size(self):
+        ref = TensorRef("A", ("i", "j", "k"))
+        dims = {"i": 2, "j": 3, "k": 5}
+        assert ref.shape(dims) == (2, 3, 5)
+        assert ref.size(dims) == 30
+
+    def test_strides_row_major(self):
+        ref = TensorRef("A", ("i", "j", "k"))
+        dims = {"i": 2, "j": 3, "k": 5}
+        assert ref.strides(dims) == {"k": 1, "j": 5, "i": 15}
+
+    def test_missing_dim_raises(self):
+        ref = TensorRef("A", ("i",))
+        with pytest.raises(ContractionError, match="no dimension"):
+            ref.shape({})
+
+    def test_rename(self):
+        ref = TensorRef("A", ("i", "j")).rename({"i": "x"})
+        assert ref.indices == ("x", "j")
+        assert ref.name == "A"
+
+
+class TestParse:
+    def test_space_separated(self):
+        assert TensorRef.parse("A[l k]") == TensorRef("A", ("l", "k"))
+
+    def test_comma_separated(self):
+        assert TensorRef.parse("U[l,m,n]") == TensorRef("U", ("l", "m", "n"))
+
+    def test_str_round_trip(self):
+        ref = TensorRef("temp1", ("i", "l", "m"))
+        assert TensorRef.parse(str(ref)) == ref
+
+    def test_malformed(self):
+        with pytest.raises(ContractionError, match="cannot parse"):
+            TensorRef.parse("A(i j)")
+
+    def test_ordering_is_stable(self):
+        assert TensorRef("A", ("i",)) < TensorRef("B", ("i",))

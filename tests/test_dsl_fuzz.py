@@ -1,0 +1,60 @@
+"""Fuzz-style robustness tests for the DSL front end.
+
+The lexer/parser sit at the user boundary: whatever bytes arrive, they must
+either produce a valid Contraction or raise a DSLError with a position —
+never an unrelated exception type, never a hang, never a silent partial
+parse.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dsl.lexer import tokenize
+from repro.dsl.parser import parse_contraction, parse_program
+from repro.dsl.printer import format_contraction
+from repro.dsl.tokens import TokenKind
+from repro.errors import DSLError, ReproError
+
+
+class TestLexerTotal:
+    @given(st.text(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_lexer_never_crashes_unexpectedly(self, text):
+        try:
+            tokens = tokenize(text)
+        except DSLError:
+            return
+        assert tokens[-1].kind is TokenKind.EOF
+
+    @given(st.text(alphabet="abijk[]()=+*,. \n#123", max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_parser_raises_only_dsl_errors(self, text):
+        try:
+            parse_program(text, default_dim=4)
+        except ReproError:
+            return  # any library error type is acceptable at this boundary
+        # If it parsed, every contraction must be well-formed.
+        # (Nothing further to assert: construction already validates.)
+
+
+class TestPrinterParserLoop:
+    @given(
+        st.integers(2, 4),
+        st.permutations(["i", "j", "k", "l"]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_stable(self, dim, order):
+        """print(parse(print(c))) is a fixed point."""
+        text = (
+            f"dim {' '.join(order)} = {dim}\n"
+            f"Y[{order[0]} {order[1]}] = "
+            f"Sum([{order[2]} {order[3]}], "
+            f"A[{order[0]} {order[2]}] * B[{order[2]} {order[3]}] "
+            f"* C[{order[3]} {order[1]}])"
+        )
+        c1 = parse_contraction(text)
+        printed = format_contraction(c1)
+        c2 = parse_contraction(printed)
+        assert format_contraction(c2) == printed
+        assert c2.output == c1.output
+        assert c2.terms == c1.terms
+        assert c2.dims == c1.dims

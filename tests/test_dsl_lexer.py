@@ -1,0 +1,70 @@
+"""Tests for the OCTOPI DSL lexer."""
+
+import pytest
+
+from repro.dsl.lexer import tokenize
+from repro.dsl.tokens import TokenKind
+from repro.errors import DSLSyntaxError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+class TestTokenize:
+    def test_simple_statement(self):
+        toks = tokenize("V[i j] = A[i k] * B[k j]")
+        texts = [t.text for t in toks if t.kind == TokenKind.IDENT]
+        assert texts == ["V", "i", "j", "A", "i", "k", "B", "k", "j"]
+        assert TokenKind.STAR in kinds("V[i j] = A[i k] * B[k j]")
+
+    def test_pluseq(self):
+        assert TokenKind.PLUSEQ in kinds("V[i] += A[i]")
+
+    def test_range_token(self):
+        toks = tokenize("dim p = 8..12")
+        assert [t.kind for t in toks[:6]] == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.EQUALS,
+            TokenKind.INT,
+            TokenKind.RANGE,
+            TokenKind.INT,
+        ]
+
+    def test_comments_stripped(self):
+        toks = tokenize("# a comment\nV[i] = A[i]  # trailing\n")
+        assert all(t.kind != TokenKind.IDENT or t.text != "comment" for t in toks)
+
+    def test_newlines_collapse(self):
+        toks = tokenize("a[i] = b[i]\n\n\nc[i] = d[i]")
+        newlines = [t for t in toks if t.kind == TokenKind.NEWLINE]
+        assert len(newlines) == 2  # one per statement
+
+    def test_ends_with_eof(self):
+        assert tokenize("")[-1].kind == TokenKind.EOF
+        assert tokenize("x[i] = y[i]")[-1].kind == TokenKind.EOF
+
+    def test_positions_tracked(self):
+        toks = tokenize("ab[i] = cd[i]\nef[j] = gh[j]")
+        ef = next(t for t in toks if t.text == "ef")
+        assert ef.line == 2
+        assert ef.column == 1
+
+    def test_underscored_identifiers(self):
+        toks = tokenize("t3_out[h7] = v_2[h7]")
+        names = [t.text for t in toks if t.kind == TokenKind.IDENT]
+        assert names == ["t3_out", "h7", "v_2", "h7"]
+
+    def test_rejects_unknown_character(self):
+        with pytest.raises(DSLSyntaxError, match="unexpected character"):
+            tokenize("V[i] = A[i] @ B[i]")
+
+    def test_error_carries_position(self):
+        with pytest.raises(DSLSyntaxError) as err:
+            tokenize("ok[i] = ok[i]\n   ?")
+        assert err.value.line == 2
+
+    def test_commas_in_index_lists(self):
+        toks = tokenize("V[i, j] = A[i, j]")
+        assert kinds("V[i, j] = A[i, j]").count(TokenKind.COMMA) == 2

@@ -1,0 +1,110 @@
+"""Tests for the OCTOPI DSL parser and semantic lowering."""
+
+import pytest
+
+from repro.dsl.parser import parse_contraction, parse_program
+from repro.errors import DSLSemanticError, DSLSyntaxError
+
+
+class TestParseContraction:
+    def test_fig2a_example(self):
+        c = parse_contraction(
+            """
+            dim i j k l m n = 10
+            V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])
+            """
+        )
+        assert c.output.name == "V"
+        assert c.output.indices == ("i", "j", "k")
+        assert [t.name for t in c.terms] == ["A", "B", "C", "U"]
+        assert set(c.summation_indices) == {"l", "m", "n"}
+        assert all(c.dims[i] == 10 for i in "ijklmn")
+
+    def test_implicit_einstein_summation(self):
+        c = parse_contraction("dim i j k = 5\nCm[i j] = A[i k] * B[k j]")
+        assert c.summation_indices == ("k",)
+
+    def test_default_dim(self):
+        c = parse_contraction("y[i] = A[i j] * x[j]", default_dim=7)
+        assert c.dims == {"i": 7, "j": 7}
+
+    def test_missing_dim_is_error(self):
+        with pytest.raises(DSLSemanticError, match="no dim declaration"):
+            parse_contraction("y[i] = A[i j] * x[j]")
+
+    def test_sum_list_must_match_derived(self):
+        with pytest.raises(DSLSemanticError, match="Einstein-derived"):
+            parse_contraction(
+                "dim i j k = 4\nCm[i j] = Sum([i], A[i k] * B[k j])"
+            )
+
+    def test_pluseq_accepted(self):
+        c = parse_contraction("dim i j = 3\nY[i] += A[i j] * x[j]")
+        assert c.output.name == "Y"
+
+    def test_comma_separated_indices(self):
+        c = parse_contraction("dim i j k = 3\nCm[i, j] = A[i, k] * B[k, j]")
+        assert c.output.indices == ("i", "j")
+
+    def test_syntax_error_reports_position(self):
+        with pytest.raises(DSLSyntaxError):
+            parse_contraction("dim i = 3\nV[i] = = A[i]")
+
+    def test_missing_bracket(self):
+        with pytest.raises(DSLSyntaxError, match="'\\['"):
+            parse_contraction("dim i = 3\nV i] = A[i]")
+
+    def test_unclosed_sum(self):
+        with pytest.raises(DSLSyntaxError):
+            parse_contraction("dim i k = 3\nV[i] = Sum([k], A[i k]")
+
+
+class TestParseProgram:
+    def test_multi_statement(self):
+        parsed = parse_program(
+            """
+            dim i j k l = 4
+            T[i k] = Sum([j], A[i j] * B[j k])
+            Y[i l] = Sum([k], T[i k] * C[k l])
+            """,
+            name="chain",
+        )
+        assert len(parsed.contractions) == 2
+        assert parsed.contractions[0].name == "chain_s0"
+        assert parsed.contractions[1].name == "chain_s1"
+
+    def test_no_statements_is_error(self):
+        with pytest.raises(DSLSemanticError, match="no summation"):
+            parse_program("dim i = 3")
+
+    def test_dim_range_specializes(self):
+        parsed = parse_program(
+            "dim i j k = 3..5\nCm[i j] = A[i k] * B[k j]", name="rng"
+        )
+        assert len(parsed.contractions) == 3
+        assert [c.dims["i"] for c in parsed.contractions] == [3, 4, 5]
+        assert parsed.contractions[0].name.endswith("_n3")
+
+    def test_inconsistent_redeclaration(self):
+        with pytest.raises(DSLSemanticError, match="re-declared"):
+            parse_program("dim i = 3\ndim i = 4\nV[i] = A[i j] * x[j]")
+
+    def test_mismatched_range_widths(self):
+        with pytest.raises(DSLSemanticError, match="different widths"):
+            parse_program(
+                "dim i = 3..5\ndim j = 3..4\nCm[i j] = A[i j] * B[i j]"
+            )
+
+    def test_invalid_range(self):
+        with pytest.raises(DSLSemanticError, match="invalid dimension range"):
+            parse_program("dim i = 5..3\nV[i] = A[i]")
+
+    def test_single_term_statement(self):
+        c = parse_contraction("dim i j = 3\nY[i] = Sum([j], A[i j])")
+        assert c.summation_indices == ("j",)
+        assert len(c.terms) == 1
+
+    def test_output_broadcast_rejected(self):
+        # An output index absent from the RHS is not a contraction.
+        with pytest.raises(Exception, match="broadcast"):
+            parse_contraction("dim i j = 3\nV[i j] = A[i]")

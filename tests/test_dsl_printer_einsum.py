@@ -1,0 +1,68 @@
+"""Tests for DSL printing and the einsum bridge (round-trips)."""
+
+import numpy as np
+
+from repro.dsl.einsum import contraction_to_einsum, einsum_to_contraction
+from repro.dsl.parser import parse_contraction
+from repro.dsl.printer import format_contraction, format_program
+
+
+class TestPrinter:
+    def test_round_trip(self, eqn1_small):
+        text = format_contraction(eqn1_small)
+        again = parse_contraction(text, name=eqn1_small.name)
+        assert again.output == eqn1_small.output
+        assert again.terms == eqn1_small.terms
+        assert again.dims == dict(eqn1_small.dims)
+
+    def test_round_trip_without_sum(self, matmul):
+        text = format_contraction(matmul)
+        assert "Sum(" in text  # matmul has a summation index k
+        again = parse_contraction(text)
+        assert again.summation_indices == ("k",)
+
+    def test_outer_product_prints_without_sum(self):
+        c = einsum_to_contraction("i,j->ij", ["a", "b"], 3)
+        text = format_contraction(c)
+        assert "Sum(" not in text
+        assert parse_contraction(text).summation_indices == ()
+
+    def test_format_program_shares_dims(self, matmul, eqn1_small):
+        text = format_program([matmul, eqn1_small])
+        assert text.count("dim") >= 1
+        assert "Cm[i j]" in text and "V[i j k]" in text
+
+
+class TestEinsumBridge:
+    def test_spec_round_trip(self, eqn1_small):
+        spec = contraction_to_einsum(eqn1_small)
+        inputs = eqn1_small.random_inputs(3)
+        direct = np.einsum(spec, *[inputs[t.name] for t in eqn1_small.terms])
+        np.testing.assert_allclose(direct, eqn1_small.evaluate(inputs))
+
+    def test_einsum_to_contraction_evaluates(self):
+        c = einsum_to_contraction("ik,kj->ij", ["A", "B"], {"i": 3, "k": 4, "j": 5})
+        inputs = c.random_inputs(0)
+        np.testing.assert_allclose(
+            c.evaluate(inputs), inputs["A"] @ inputs["B"]
+        )
+
+    def test_dims_as_int(self):
+        c = einsum_to_contraction("ij,jk->ik", ["A", "B"], 4)
+        assert c.dims == {"i": 4, "j": 4, "k": 4}
+
+    def test_mismatched_names_rejected(self):
+        import pytest
+
+        from repro.errors import ContractionError
+
+        with pytest.raises(ContractionError, match="operands"):
+            einsum_to_contraction("ij,jk->ik", ["A"], 4)
+
+    def test_implicit_spec_rejected(self):
+        import pytest
+
+        from repro.errors import ContractionError
+
+        with pytest.raises(ContractionError, match="explicit"):
+            einsum_to_contraction("ij,jk", ["A", "B"], 4)

@@ -1,0 +1,91 @@
+"""Tests for compiling multi-statement DSL inputs to one TCR program."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import compile_dsl_to_program
+from repro.errors import DSLSemanticError
+
+LG3_DSL = """
+dim e = 8
+dim i j k l = 5
+ur[e i j k] = Sum([l], d[i l] * u[e l j k])
+us[e i j k] = Sum([l], d[j l] * u[e i l k])
+ut[e i j k] = Sum([l], d[k l] * u[e i j l])
+"""
+
+LG3T_DSL = """
+dim e = 8
+dim i j k l = 5
+w[e i j k] = Sum([l], dt[i l] * vr[e l j k])
+w[e i j k] += Sum([l], vs[e i l k] * d[l j])
+w[e i j k] += Sum([l], vt[e i j l] * d[l k])
+"""
+
+
+class TestCompileDslToProgram:
+    def test_lg3_in_dsl_matches_builtin(self):
+        program = compile_dsl_to_program(LG3_DSL, name="lg3_dsl")
+        from repro.workloads.spectral import lg3
+
+        builtin = lg3(5, 8).program
+        inputs = builtin.random_inputs(0)
+        expected = builtin.evaluate_all(inputs)
+        got = program.evaluate_all(inputs)
+        for out in ("ur", "us", "ut"):
+            np.testing.assert_allclose(got[out], expected[out], atol=1e-12)
+
+    def test_accumulation_chain(self):
+        program = compile_dsl_to_program(LG3T_DSL, name="lg3t_dsl")
+        assert program.output_names == ("w",)
+        assert len(program.operations) == 3
+        inputs = program.random_inputs(1)
+        got = program.evaluate(inputs)
+        d, dt = inputs["d"], inputs["dt"]
+        expected = np.einsum("il,eljk->eijk", dt, inputs["vr"])
+        expected += np.einsum("eilk,lj->eijk", inputs["vs"], d)
+        expected += np.einsum("eijl,lk->eijk", inputs["vt"], d)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_chained_consumption(self):
+        program = compile_dsl_to_program(
+            """
+            dim i j k l = 4
+            t[i k] = Sum([j], A[i j] * B[j k])
+            Y[i l] = Sum([k], t[i k] * C[k l])
+            """,
+            name="chain_dsl",
+        )
+        assert program.temporaries == ("t",)
+        inputs = program.random_inputs(0)
+        np.testing.assert_allclose(
+            program.evaluate(inputs),
+            inputs["A"] @ inputs["B"] @ inputs["C"],
+            atol=1e-12,
+        )
+
+    def test_multi_term_statement_rejected(self):
+        with pytest.raises(DSLSemanticError, match="strength reduction"):
+            compile_dsl_to_program(
+                "dim i j k l = 3\nY[i] = Sum([j k l], A[i j] * B[j k] * C[k l])"
+            )
+
+    def test_shape_clash_rejected(self):
+        with pytest.raises(DSLSemanticError, match="shapes"):
+            compile_dsl_to_program(
+                """
+                dim i = 3
+                dim j = 7
+                x[i] = Sum([j], A[i j] * b[j])
+                y[j] = Sum([i], A[j i] * c[i])
+                """
+            )
+
+    def test_is_tunable(self):
+        from repro.autotune import Autotuner
+        from repro.gpusim.arch import GTX980
+
+        program = compile_dsl_to_program(LG3_DSL, name="lg3_dsl")
+        tuner = Autotuner(GTX980, max_evaluations=15, pool_size=200, seed=0)
+        result = tuner.tune_program(program)
+        assert result.gflops > 0

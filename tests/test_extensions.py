@@ -1,0 +1,185 @@
+"""Tests for the extension modules: temp layouts, Orio round-trip,
+roofline analysis, Jacobi-preconditioned CG."""
+
+import numpy as np
+import pytest
+
+from repro.core.layouts import enumerate_layout_variants, permute_temp_layout
+from repro.core.pipeline import compile_contraction
+from repro.errors import TCRError
+from repro.gpusim.arch import GTX980
+from repro.gpusim.kernel import build_launch
+from repro.gpusim.perfmodel import GPUPerformanceModel
+from repro.gpusim.roofline import analyze_kernel, analyze_program
+from repro.tcr.decision import decide_search_space
+from repro.tcr.orio import emit_performance_params, parse_performance_params
+from repro.tcr.space import TuningSpace
+from repro.util.rng import spawn_rng
+
+
+class TestLayoutPermutation:
+    def _program(self, eqn1_small):
+        compiled = compile_contraction(eqn1_small)
+        return compiled.minimal_flop_variants()[0].program
+
+    def test_permutation_preserves_semantics(self, eqn1_small):
+        program = self._program(eqn1_small)
+        temp = program.temporaries[0]
+        old = program.arrays[temp]
+        new = (old[-1],) + old[:-1]
+        permuted = permute_temp_layout(program, temp, new)
+        inputs = program.random_inputs(3)
+        np.testing.assert_allclose(
+            permuted.evaluate(inputs), program.evaluate(inputs), atol=1e-12
+        )
+        assert permuted.arrays[temp] == new
+
+    def test_all_enumerated_variants_equivalent(self, eqn1_small):
+        program = self._program(eqn1_small)
+        inputs = program.random_inputs(1)
+        reference = program.evaluate(inputs)
+        variants = enumerate_layout_variants(program, max_variants=12)
+        assert len(variants) > 3
+        for variant in variants:
+            np.testing.assert_allclose(
+                variant.evaluate(inputs), reference, atol=1e-12
+            )
+
+    def test_layout_changes_coalescing_profile(self, eqn1_small):
+        """Different temp layouts produce different decision candidates."""
+        program = self._program(eqn1_small)
+        variants = enumerate_layout_variants(program, max_variants=12)
+        profiles = set()
+        for variant in variants:
+            space = decide_search_space(variant)
+            profiles.add(
+                tuple(ks.tx_candidates for ks in space.kernel_spaces)
+            )
+        assert len(profiles) > 1
+
+    def test_non_permutation_rejected(self, eqn1_small):
+        program = self._program(eqn1_small)
+        temp = program.temporaries[0]
+        with pytest.raises(TCRError, match="permutation"):
+            permute_temp_layout(program, temp, ("i", "i", "i"))
+
+    def test_unknown_array_rejected(self, eqn1_small):
+        program = self._program(eqn1_small)
+        with pytest.raises(TCRError, match="not an array"):
+            permute_temp_layout(program, "nope", ("i",))
+
+    def test_inputs_not_permutable(self, eqn1_small):
+        program = self._program(eqn1_small)
+        with pytest.raises(TCRError, match="not an array written"):
+            permute_temp_layout(program, "A", program.arrays["A"][::-1])
+
+    def test_original_included_and_deduped(self, eqn1_small):
+        program = self._program(eqn1_small)
+        variants = enumerate_layout_variants(program, max_variants=50)
+        keys = {tuple(sorted(v.arrays.items())) for v in variants}
+        assert len(keys) == len(variants)
+
+
+class TestOrioRoundTrip:
+    def test_emit_parse_round_trip(self, two_op_program):
+        space = decide_search_space(two_op_program)
+        text = emit_performance_params(space)
+        params = parse_performance_params(text)
+        assert params["PERMUTE_0_TX0"] == list(space.kernel_spaces[0].tx_candidates)
+        assert params["UF_1"] == [str(u) for u in space.kernel_spaces[1].unroll_factors]
+
+    def test_parses_paper_excerpt(self):
+        text = """
+        def performance_params {
+        param PERMUTE_2_TX2[] = ['m'];
+        param PERMUTE_2_TY2[] = ['i','1','m','l'];
+        param PERMUTE_2_BX2[] = ['i','m','l'];
+        param PERMUTE_2_BY2[] = ['i','1','m','l'];
+        param UF_2[] = [1,2,3,4,5,6,7,8,9,10];
+        }
+        """
+        params = parse_performance_params(text)
+        assert params["PERMUTE_2_TY2"] == ["i", "1", "m", "l"]
+        assert [int(u) for u in params["UF_2"]] == list(range(1, 11))
+
+    def test_rejects_garbage(self):
+        from repro.errors import SearchSpaceError
+
+        with pytest.raises(SearchSpaceError):
+            parse_performance_params("not an annotation")
+        with pytest.raises(SearchSpaceError):
+            parse_performance_params("def performance_params { }")
+
+
+class TestRoofline:
+    def test_kernel_point_consistent(self):
+        from repro.workloads.spectral import lg3
+
+        program = lg3(12, 256).program
+        model = GPUPerformanceModel(GTX980)
+        space = decide_search_space(program)
+        kc = space.kernel_spaces[0][0]
+        point = analyze_kernel(
+            model, build_launch(program.operations[0], kc, program.dims)
+        )
+        assert point.flops == 2 * 256 * 12**4
+        assert point.intensity > 0
+        assert 0 <= point.efficiency <= 1
+        assert point.bound in ("compute", "memory", "overhead")
+        assert "GF" in point.describe()
+
+    def test_achieved_below_roofs(self):
+        from repro.workloads.nwchem import nwchem_kernel
+
+        program = nwchem_kernel("d1", 1).program
+        model = GPUPerformanceModel(GTX980)
+        space = TuningSpace([decide_search_space(program)])
+        for config in space.sample_pool(20, spawn_rng(0, "roof")):
+            points = analyze_program(model, program, config)
+            for point in points:
+                assert point.achieved_gflops <= point.compute_roof_gflops * 1.001
+
+    def test_tiny_kernel_is_overhead_bound(self, two_op_program):
+        model = GPUPerformanceModel(GTX980)
+        space = TuningSpace([decide_search_space(two_op_program)])
+        config = space.config_at(0)
+        points = analyze_program(model, two_op_program, config)
+        assert any(p.bound == "overhead" for p in points)
+
+
+class TestJacobiCG:
+    def test_preconditioning_reduces_iterations(self):
+        from repro.apps.nekbone import NekboneProblem, cg_solve
+
+        problem = NekboneProblem(elements=2, n=6, lam=0.2, seed=1)
+        # Spread the geometric factors over orders of magnitude so the
+        # operator's diagonal actually varies — the regime where Jacobi
+        # preconditioning earns its keep.
+        rng = np.random.default_rng(7)
+        problem.g = 10.0 ** rng.uniform(-1.5, 1.5, problem.g.shape)
+        b = problem.random_rhs(2)
+        _x0, plain = cg_solve(problem, b, tol=1e-8, max_iterations=2000)
+        _x1, jacobi = cg_solve(
+            problem, b, tol=1e-8, max_iterations=2000, jacobi=True
+        )
+        assert jacobi[-1] < 1e-8
+        assert len(jacobi) < len(plain)
+
+    def test_diagonal_matches_operator(self):
+        from repro.apps.nekbone import NekboneProblem
+
+        problem = NekboneProblem(elements=1, n=4, lam=0.7, seed=3)
+        diag = problem.diagonal()
+        # Check a handful of unit vectors: (A e_i)_i == diag_i.
+        rng = np.random.default_rng(0)
+        for _ in range(6):
+            idx = tuple(rng.integers(0, s) for s in problem.shape)
+            e = np.zeros(problem.shape)
+            e[idx] = 1.0
+            assert problem.apply(e)[idx] == pytest.approx(diag[idx], rel=1e-10)
+
+    def test_diagonal_positive(self):
+        from repro.apps.nekbone import NekboneProblem
+
+        problem = NekboneProblem(elements=2, n=5, lam=0.1)
+        assert (problem.diagonal() > 0).all()

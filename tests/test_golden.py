@@ -1,0 +1,86 @@
+"""Golden-file regression tests for every generated artifact.
+
+The pipeline's outputs (TCR text, sequential C, fused C, Orio annotation,
+CUDA) were verified once — numerically via the interpreter, structurally
+against the paper's Fig. 2 — and frozen under ``tests/golden/``.  Any
+behavioural drift in enumeration order, the decision algorithm, or the
+code generators shows up here as a diff.
+
+If a change is *intended*, regenerate with the snippet in this module's
+epilogue (and re-review the diff).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core.pipeline import compile_contraction
+from repro.dsl.parser import parse_contraction
+from repro.tcr.codegen_c import generate_c, generate_c_fused
+from repro.tcr.codegen_cuda import generate_cuda_program
+from repro.tcr.decision import decide_search_space
+from repro.tcr.orio import emit_orio_annotation
+from repro.tcr.space import TuningSpace
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    c = parse_contraction(
+        "dim i j k l m n = 10\n"
+        "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])",
+        name="ex",
+    )
+    compiled = compile_contraction(c)
+    variant = compiled.minimal_flop_variants()[0]
+    space = decide_search_space(variant.program)
+    config = TuningSpace([space]).config_at(123457 % space.size())
+    return variant.program, space, config
+
+
+def _golden(name: str) -> str:
+    return (GOLDEN / name).read_text(encoding="utf-8")
+
+
+class TestGolden:
+    def test_config_identity(self, pipeline):
+        _program, _space, config = pipeline
+        assert config.describe() + "\n" == _golden("eqn1_config.txt")
+
+    def test_tcr_text(self, pipeline):
+        program, _space, _config = pipeline
+        assert program.to_text() + "\n" == _golden("eqn1_tcr.txt")
+
+    def test_sequential_c(self, pipeline):
+        program, _space, _config = pipeline
+        assert generate_c(program) + "\n" == _golden("eqn1_c.txt")
+
+    def test_fused_c(self, pipeline):
+        program, _space, _config = pipeline
+        assert generate_c_fused(program) + "\n" == _golden("eqn1_c_fused.txt")
+
+    def test_orio_annotation(self, pipeline):
+        _program, space, _config = pipeline
+        assert emit_orio_annotation(space) + "\n" == _golden("eqn1_orio.txt")
+
+    def test_cuda(self, pipeline):
+        program, _space, config = pipeline
+        assert (
+            generate_cuda_program(program, config) + "\n"
+            == _golden("eqn1_cuda.txt")
+        )
+
+    def test_cuda_has_paper_fig2d_shape(self):
+        """Beyond byte equality: the structural landmarks of Fig. 2(d)."""
+        text = _golden("eqn1_cuda.txt")
+        assert text.count("__global__") == 3
+        assert "nv0" in text and "nv2" in text     # scalar replacement
+        assert "threadIdx.x" in text and "blockIdx.x" in text
+        assert "cudaMemcpy" in text
+
+
+# To regenerate after an intended change:
+#   python - <<'PY'
+#   ... (see tests/golden/README for the generation snippet)
+#   PY

@@ -1,0 +1,133 @@
+"""Tests for architecture datasheets and kernel-launch resolution."""
+
+import pytest
+
+from repro.errors import ArchitectureError, ConfigurationError
+from repro.gpusim.arch import ALL_GPUS, C2050, GTX980, HASWELL, K20, gpu_by_name
+from repro.gpusim.kernel import AccessClass, build_launch
+from repro.tcr.decision import decide_search_space
+from repro.tcr.space import ONE, KernelConfig
+
+
+class TestArch:
+    def test_peak_flops_match_datasheets(self):
+        # Public DP peaks: C2050 ~515, K20 ~1170, GTX 980 ~144 GFlops.
+        assert C2050.peak_dp_gflops == pytest.approx(515, rel=0.01)
+        assert K20.peak_dp_gflops == pytest.approx(1175, rel=0.01)
+        assert GTX980.peak_dp_gflops == pytest.approx(144, rel=0.01)
+
+    def test_max_warps(self):
+        assert C2050.max_warps_per_sm == 48
+        assert K20.max_warps_per_sm == 64
+
+    def test_lookup_aliases(self):
+        assert gpu_by_name("maxwell") is GTX980
+        assert gpu_by_name("Tesla K20") is K20
+        assert gpu_by_name("FERMI") is C2050
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ArchitectureError, match="unknown GPU"):
+            gpu_by_name("h100")
+
+    def test_all_gpus_distinct(self):
+        assert len({a.name for a in ALL_GPUS}) == 3
+
+    def test_cpu_datasheet(self):
+        assert HASWELL.cores == 4
+        assert HASWELL.peak_scalar_gflops > 0
+
+
+class TestBuildLaunch:
+    def _space(self, program):
+        return decide_search_space(program)
+
+    def test_shapes(self, two_op_program):
+        space = self._space(two_op_program)
+        config = space.config_at(0)
+        launch = build_launch(
+            two_op_program.operations[0], config.kernels[0], two_op_program.dims
+        )
+        assert launch.total_threads * launch.serial_iterations == 4**3
+        assert launch.flops == 2 * 4**3
+
+    def test_every_config_covers_iteration_space(self, two_op_program):
+        space = self._space(two_op_program)
+        op = two_op_program.operations[0]
+        for kc in space.kernel_spaces[0]:
+            launch = build_launch(op, kc, two_op_program.dims)
+            assert launch.total_threads * launch.serial_iterations == 4**3
+
+    def test_access_classification(self, two_op_program):
+        op = two_op_program.operations[0]  # temp1(i,k) += A(i,j) B(j,k)
+        kc = KernelConfig(
+            tx="k", ty=ONE, bx="i", by=ONE, serial_order=("j",), unroll=1
+        )
+        launch = build_launch(op, kc, two_op_program.dims)
+        classes = {a.ref.name: a.access_class for a in launch.accesses}
+        assert classes["B"] is AccessClass.COALESCED  # k stride-1 in B
+        assert classes["A"] is AccessClass.BROADCAST  # A invariant in k
+        assert classes["temp1"] is AccessClass.COALESCED
+
+    def test_strided_classification(self, two_op_program):
+        op = two_op_program.operations[0]
+        kc = KernelConfig(
+            tx="i", ty=ONE, bx="k", by=ONE, serial_order=("j",), unroll=1
+        )
+        launch = build_launch(op, kc, two_op_program.dims)
+        classes = {a.ref.name: a.access_class for a in launch.accesses}
+        assert classes["A"] is AccessClass.STRIDED  # i stride 4 in A
+
+    def test_reduction_as_thread_rejected(self, two_op_program):
+        op = two_op_program.operations[0]
+        kc = KernelConfig(
+            tx="j", ty=ONE, bx="i", by=ONE, serial_order=("k",), unroll=1
+        )
+        with pytest.raises(ConfigurationError, match="dependence"):
+            build_launch(op, kc, two_op_program.dims)
+
+    def test_unknown_index_rejected(self, two_op_program):
+        op = two_op_program.operations[0]
+        kc = KernelConfig(
+            tx="z", ty=ONE, bx="i", by=ONE, serial_order=("k", "j"), unroll=1
+        )
+        with pytest.raises(ConfigurationError, match="not an index"):
+            build_launch(op, kc, two_op_program.dims)
+
+    def test_wrong_serial_cover_rejected(self, two_op_program):
+        op = two_op_program.operations[0]
+        kc = KernelConfig(
+            tx="k", ty=ONE, bx="i", by=ONE, serial_order=(), unroll=1
+        )
+        with pytest.raises(ConfigurationError, match="serial"):
+            build_launch(op, kc, two_op_program.dims)
+
+    def test_unroll_beyond_trip_rejected(self, two_op_program):
+        op = two_op_program.operations[0]
+        kc = KernelConfig(
+            tx="k", ty=ONE, bx="i", by=ONE, serial_order=("j",), unroll=9
+        )
+        with pytest.raises(ConfigurationError, match="unroll"):
+            build_launch(op, kc, two_op_program.dims)
+
+    def test_registers_grow_with_unroll(self, two_op_program):
+        op = two_op_program.operations[0]
+        small = build_launch(
+            op,
+            KernelConfig(tx="k", ty=ONE, bx="i", by=ONE, serial_order=("j",), unroll=1),
+            two_op_program.dims,
+        )
+        big = build_launch(
+            op,
+            KernelConfig(tx="k", ty=ONE, bx="i", by=ONE, serial_order=("j",), unroll=4),
+            two_op_program.dims,
+        )
+        assert big.registers_per_thread() > small.registers_per_thread()
+
+    def test_reduction_trip(self, two_op_program):
+        op = two_op_program.operations[0]
+        kc = KernelConfig(
+            tx="k", ty=ONE, bx="i", by=ONE, serial_order=("j",), unroll=2
+        )
+        launch = build_launch(op, kc, two_op_program.dims)
+        assert launch.reduction_trip == 4
+        assert "unroll=2" in launch.describe()

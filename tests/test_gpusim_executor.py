@@ -1,0 +1,132 @@
+"""Tests for the functional grid interpreter (correctness oracle).
+
+These are the tests that license everything else: every point of a kernel
+space, executed exactly as the generated CUDA schedules it (grid, block,
+serial order, unroll main+remainder, scalar replacement), must reproduce
+numpy.einsum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.executor import execute_kernel, execute_program
+from repro.gpusim.kernel import build_launch
+from repro.tcr.decision import decide_search_space
+from repro.tcr.space import TuningSpace
+from repro.util.rng import spawn_rng
+
+
+class TestExecuteKernel:
+    def test_every_kernel_config_is_correct(self, two_op_program):
+        """Exhaustive: all configurations of the first kernel agree."""
+        op = two_op_program.operations[0]
+        space = decide_search_space(two_op_program).kernel_spaces[0]
+        inputs = two_op_program.random_inputs(0)
+        expected = inputs["A"] @ inputs["B"]
+        for kc in space:
+            env = {
+                "A": inputs["A"],
+                "B": inputs["B"],
+                "temp1": np.zeros((4, 4)),
+            }
+            launch = build_launch(op, kc, two_op_program.dims)
+            execute_kernel(launch, env)
+            np.testing.assert_allclose(env["temp1"], expected, atol=1e-12, err_msg=kc.describe())
+
+    def test_accumulates_into_existing(self, two_op_program):
+        op = two_op_program.operations[0]
+        space = decide_search_space(two_op_program).kernel_spaces[0]
+        inputs = two_op_program.random_inputs(1)
+        prior = np.ones((4, 4))
+        env = {"A": inputs["A"], "B": inputs["B"], "temp1": prior.copy()}
+        launch = build_launch(op, space[0], two_op_program.dims)
+        execute_kernel(launch, env)
+        np.testing.assert_allclose(
+            env["temp1"], prior + inputs["A"] @ inputs["B"], atol=1e-12
+        )
+
+    def test_size_guard(self):
+        from repro.workloads.nwchem import nwchem_kernel
+
+        wl = nwchem_kernel("d1", 1, n=16)
+        space = decide_search_space(wl.program).kernel_spaces[0]
+        launch = build_launch(wl.program.operations[0], space[0], wl.program.dims)
+        with pytest.raises(SimulationError, match="points"):
+            execute_kernel(launch, {})
+
+
+class TestExecuteProgram:
+    def test_sampled_program_configs(self, two_op_program):
+        space = TuningSpace([decide_search_space(two_op_program)])
+        inputs = two_op_program.random_inputs(3)
+        expected = two_op_program.evaluate(inputs)
+        rng = spawn_rng(0, "exec-sample")
+        for config in space.sample_pool(min(40, space.size()), rng):
+            result = execute_program(two_op_program, config, inputs)
+            np.testing.assert_allclose(
+                result["Y"], expected, atol=1e-12, err_msg=config.describe()
+            )
+
+    def test_eqn1_variants_through_interpreter(self, eqn1_small):
+        from repro.core.pipeline import compile_contraction
+
+        compiled = compile_contraction(eqn1_small)
+        inputs = eqn1_small.random_inputs(7)
+        expected = eqn1_small.evaluate(inputs)
+        rng = spawn_rng(1, "exec-eqn1")
+        for variant in compiled.minimal_flop_variants():
+            space = TuningSpace([decide_search_space(variant.program)])
+            for config in space.sample_pool(5, rng):
+                result = execute_program(variant.program, config, inputs)
+                np.testing.assert_allclose(
+                    result["V"], expected, atol=1e-11, err_msg=config.describe()
+                )
+
+    def test_multi_output_program(self):
+        from repro.workloads.spectral import lg3
+
+        wl = lg3(4, 3)
+        program = wl.program
+        inputs = program.random_inputs(2)
+        space = TuningSpace([decide_search_space(program)])
+        expected = program.evaluate_all(inputs)
+        config = space.sample_pool(1, spawn_rng(2, "lg3"))[0]
+        result = execute_program(program, config, inputs)
+        for name in ("ur", "us", "ut"):
+            np.testing.assert_allclose(result[name], expected[name], atol=1e-12)
+
+    def test_config_count_mismatch(self, two_op_program):
+        space = TuningSpace([decide_search_space(two_op_program)])
+        config = space.config_at(0)
+        bad = type(config)(
+            variant_index=0, kernels=config.kernels[:1], global_id=-1
+        )
+        with pytest.raises(SimulationError, match="kernel configs"):
+            execute_program(two_op_program, bad, two_op_program.random_inputs(0))
+
+    def test_wrong_input_shape(self, two_op_program):
+        space = TuningSpace([decide_search_space(two_op_program)])
+        config = space.config_at(0)
+        inputs = two_op_program.random_inputs(0)
+        inputs["A"] = np.zeros((2, 2))
+        with pytest.raises(SimulationError, match="shape"):
+            execute_program(two_op_program, config, inputs)
+
+    def test_unroll_remainder_path_specifically(self, two_op_program):
+        """Pick configs with every unroll factor; all must agree."""
+        op_space = decide_search_space(two_op_program).kernel_spaces[0]
+        inputs = two_op_program.random_inputs(5)
+        expected = inputs["A"] @ inputs["B"]
+        seen_unrolls = set()
+        for kc in op_space:
+            if kc.unroll in seen_unrolls:
+                continue
+            seen_unrolls.add(kc.unroll)
+            env = {"A": inputs["A"], "B": inputs["B"], "temp1": np.zeros((4, 4))}
+            launch = build_launch(
+                two_op_program.operations[0], kc, two_op_program.dims
+            )
+            execute_kernel(launch, env)
+            np.testing.assert_allclose(env["temp1"], expected, atol=1e-12)
+        assert seen_unrolls == {1, 2, 3, 4}

@@ -1,0 +1,166 @@
+"""Tests for the GPU timing model: determinism, monotone physics, legality."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.arch import C2050, GTX980, K20
+from repro.gpusim.kernel import build_launch
+from repro.gpusim.perfmodel import GPUPerformanceModel
+from repro.tcr.decision import decide_search_space
+from repro.tcr.space import ONE, KernelConfig, TuningSpace
+from repro.util.rng import spawn_rng
+from repro.workloads.spectral import lg3
+
+
+@pytest.fixture
+def model():
+    return GPUPerformanceModel(GTX980)
+
+
+def _launch(program, op_index, **overrides):
+    op = program.operations[op_index]
+    base = dict(tx="k", ty=ONE, bx="i", by=ONE, serial_order=("j",), unroll=1)
+    base.update(overrides)
+    return build_launch(op, KernelConfig(**base), program.dims)
+
+
+class TestKernelTiming:
+    def test_deterministic(self, model, two_op_program):
+        launch = _launch(two_op_program, 0)
+        a = model.kernel_timing(launch)
+        b = model.kernel_timing(launch)
+        assert a.total_s == b.total_s
+
+    def test_positive_and_bounded(self, model, two_op_program):
+        t = model.kernel_timing(_launch(two_op_program, 0))
+        assert 0 < t.total_s < 1.0
+        assert 0 < t.utilization <= 1.0
+        assert 0 < t.occupancy <= 1.0
+        assert t.gflops > 0
+
+    def test_launch_overhead_floor(self, model, two_op_program):
+        t = model.kernel_timing(_launch(two_op_program, 0))
+        assert t.total_s >= model.arch.kernel_launch_us * 1e-6
+
+    def test_gflops_never_exceed_peak(self, two_op_program):
+        for arch in (GTX980, K20, C2050):
+            m = GPUPerformanceModel(arch)
+            space = decide_search_space(two_op_program)
+            for kc in space.kernel_spaces[0]:
+                launch = build_launch(
+                    two_op_program.operations[0], kc, two_op_program.dims
+                )
+                t = m.kernel_timing(launch)
+                assert t.gflops <= arch.peak_dp_gflops
+
+    def test_coalesced_beats_strided(self, model, two_op_program):
+        fast = model.kernel_timing(_launch(two_op_program, 0, tx="k", bx="i"))
+        slow = model.kernel_timing(_launch(two_op_program, 0, tx="i", bx="k"))
+        assert fast.memory_s < slow.memory_s
+
+    def test_bound_label(self, model, two_op_program):
+        t = model.kernel_timing(_launch(two_op_program, 0))
+        assert t.bound in ("compute", "memory")
+
+    def test_big_batched_kernel_is_efficient(self):
+        # The lg3 kernels at full size should reach tens of GFlops with a
+        # good mapping — this pins the calibration's order of magnitude.
+        program = lg3(12, 512).program
+        model = GPUPerformanceModel(GTX980)
+        space = decide_search_space(program)
+        best = min(
+            (
+                model.kernel_timing(build_launch(program.operations[0], kc, program.dims))
+                for kc in space.kernel_spaces[0]
+                if _legal(model, program, kc)
+            ),
+            key=lambda t: t.total_s,
+        )
+        assert 15 <= best.gflops <= 120
+
+
+def _legal(model, program, kc):
+    try:
+        model.kernel_timing(build_launch(program.operations[0], kc, program.dims))
+        return True
+    except ConfigurationError:
+        return False
+
+
+class TestOccupancyAndLegality:
+    def test_oversize_block_rejected(self):
+        program = lg3(12, 512).program  # ty=e gives 12*512 threads
+        model = GPUPerformanceModel(K20)
+        op = program.operations[0]
+        kc = KernelConfig(
+            tx="k", ty="e", bx="i", by=ONE, serial_order=("j", "l"), unroll=1
+        )
+        with pytest.raises(ConfigurationError, match="threads/block"):
+            model.kernel_timing(build_launch(op, kc, program.dims))
+
+    def test_occupancy_in_unit_interval(self, model, two_op_program):
+        occ, blocks = model.occupancy(_launch(two_op_program, 0))
+        assert 0 < occ <= 1
+        assert blocks >= 1
+
+
+class TestProgramTiming:
+    def test_components_sum(self, model, two_op_program):
+        space = TuningSpace([decide_search_space(two_op_program)])
+        config = space.config_at(0)
+        timing = model.program_timing(two_op_program, config)
+        assert timing.total_s == pytest.approx(
+            timing.h2d_s + timing.kernel_s + timing.d2h_s
+        )
+        assert len(timing.kernels) == 2
+        assert timing.device_gflops >= timing.gflops
+
+    def test_evaluate_noise_is_small_and_seeded(self, model, two_op_program):
+        space = TuningSpace([decide_search_space(two_op_program)])
+        config = space.config_at(0)
+        base = model.evaluate(two_op_program, config)
+        noisy1 = model.evaluate(
+            two_op_program, config, rng=spawn_rng(0, "m")
+        )
+        noisy2 = model.evaluate(
+            two_op_program, config, rng=spawn_rng(0, "m")
+        )
+        assert noisy1 == noisy2
+        assert abs(noisy1 / base - 1) < 0.05
+
+    def test_wall_seconds_has_compile_floor_and_cap(self, model, two_op_program):
+        space = TuningSpace([decide_search_space(two_op_program)])
+        config = space.config_at(0)
+        wall = model.evaluation_wall_seconds(two_op_program, config)
+        assert wall >= model.cal.compile_seconds
+        assert wall <= model.cal.compile_seconds + model.cal.measure_cap_seconds
+
+    def test_config_op_count_mismatch(self, model, two_op_program):
+        space = TuningSpace([decide_search_space(two_op_program)])
+        config = space.config_at(0)
+        bad = type(config)(variant_index=0, kernels=config.kernels[:1])
+        with pytest.raises(Exception, match="kernels"):
+            model.program_timing(two_op_program, bad)
+
+
+class TestCrossArchShape:
+    def test_transfer_bound_tiny_problem(self, two_op_program):
+        """The Eqn.(1) effect: for tiny tensors, even the best-found
+        configuration leaves transfers+launches as a major cost."""
+        model = GPUPerformanceModel(GTX980)
+        space = TuningSpace([decide_search_space(two_op_program)])
+        pool = space.sample_pool(100, spawn_rng(0, "tiny"))
+        best = min(
+            (model.program_timing(two_op_program, c) for c in pool),
+            key=lambda t: t.total_s,
+        )
+        overhead = best.h2d_s + best.d2h_s + sum(k.launch_s for k in best.kernels)
+        assert overhead > 0.5 * best.total_s
+
+    def test_unroll_changes_time(self, model, two_op_program):
+        times = {
+            u: model.kernel_timing(_launch(two_op_program, 0, unroll=u)).total_s
+            for u in (1, 2, 4)
+        }
+        assert len(set(times.values())) > 1

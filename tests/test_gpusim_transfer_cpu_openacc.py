@@ -1,0 +1,159 @@
+"""Tests for the PCIe transfer model, CPU baselines, and OpenACC models."""
+
+import pytest
+
+from repro.core.fusion import fusion_plan
+from repro.gpusim.arch import C2050, GTX980, K20
+from repro.gpusim.cpu import CPUPerformanceModel
+from repro.gpusim.openacc import (
+    OpenACCModel,
+    naive_kernel_config,
+    optimized_kernel_config,
+)
+from repro.gpusim.perfmodel import GPUPerformanceModel
+from repro.gpusim.transfer import transfer_time
+from repro.tcr.decision import decide_search_space
+from repro.tcr.space import ONE, TuningSpace
+from repro.workloads.nwchem import nwchem_kernel
+from repro.workloads.spectral import lg3
+
+
+class TestTransfer:
+    def test_zero_elements_free(self):
+        assert transfer_time(GTX980, 0) == 0.0
+
+    def test_latency_floor(self):
+        t = transfer_time(GTX980, 1)
+        assert t >= GTX980.pcie_latency_us * 1e-6
+
+    def test_bandwidth_asymptotics(self):
+        big = transfer_time(GTX980, 10_000_000)
+        expected = 80e6 / (GTX980.pcie_bandwidth_gbs * 1e9)
+        assert big == pytest.approx(expected, rel=0.05)
+
+    def test_calls_multiply_latency(self):
+        one = transfer_time(GTX980, 100, calls=1)
+        five = transfer_time(GTX980, 100, calls=5)
+        assert five - one == pytest.approx(4 * GTX980.pcie_latency_us * 1e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_time(GTX980, -1)
+
+
+class TestCPUModel:
+    def test_naive_slower_than_tuned(self, two_op_program):
+        cpu = CPUPerformanceModel()
+        naive = cpu.sequential_timing(two_op_program, tuned=False)
+        tuned = cpu.sequential_timing(two_op_program, tuned=True)
+        assert naive.total_s >= tuned.total_s
+
+    def test_openmp_speedup_bounded(self):
+        cpu = CPUPerformanceModel()
+        program = lg3(12, 256).program
+        seq = cpu.sequential_timing(program, tuned=True)
+        omp = cpu.openmp_timing(program, tuned=True)
+        speedup = seq.total_s / omp.total_s
+        assert 1.0 < speedup <= 4 * cpu.cal.omp_core_boost
+
+    def test_matmul_recast_fastest(self):
+        cpu = CPUPerformanceModel()
+        program = lg3(12, 256).program
+        recast = cpu.sequential_timing(program, matmul_recast=True)
+        tuned = cpu.sequential_timing(program, tuned=True)
+        assert recast.total_s < tuned.total_s
+
+    def test_memory_bound_outer_product(self):
+        # NWChem s1 writes a 16^6 output: bandwidth-bound on the CPU, so
+        # OpenMP barely helps (the paper's 2.47 -> 2.61 GFlops).
+        cpu = CPUPerformanceModel()
+        program = nwchem_kernel("s1", 1).program
+        seq = cpu.sequential_timing(program, tuned=True)
+        omp = cpu.openmp_timing(program, tuned=True)
+        assert seq.bound == "memory"
+        assert omp.total_s > seq.total_s / 2.5
+
+    def test_fusion_reduces_traffic(self, two_op_program):
+        cpu = CPUPerformanceModel()
+        plan = fusion_plan(two_op_program)
+        if plan.scalarized_temporaries():
+            with_fusion = cpu.sequential_timing(two_op_program, fusion=plan)
+            without = cpu.sequential_timing(two_op_program)
+            assert with_fusion.memory_s <= without.memory_s
+
+    def test_gflops_helpers(self, two_op_program):
+        cpu = CPUPerformanceModel()
+        assert cpu.sequential_gflops(two_op_program) > 0
+        assert cpu.openmp_gflops(two_op_program) > 0
+
+
+class TestOpenACC:
+    def test_supported_generations(self):
+        assert OpenACCModel(GPUPerformanceModel(K20)).supported
+        assert OpenACCModel(GPUPerformanceModel(C2050)).supported
+        assert not OpenACCModel(GPUPerformanceModel(GTX980)).supported
+
+    def test_naive_config_shape(self, two_op_program):
+        op = two_op_program.operations[0]  # out (i, k)
+        kc = naive_kernel_config(op)
+        # PGI-style: vector over the two innermost output loops; with only
+        # two output loops, nothing is left for the gang dimensions.
+        assert kc.tx == "k"
+        assert kc.ty == "i"
+        assert kc.bx == ONE and kc.by == ONE
+        assert kc.unroll == 1
+
+    def test_naive_config_rank4_output(self):
+        from repro.workloads.spectral import lg3 as _lg3
+
+        op = _lg3(4, 8).program.operations[0]  # out (e, i, j, k)
+        kc = naive_kernel_config(op)
+        assert (kc.tx, kc.ty, kc.bx, kc.by) == ("k", "j", "e", "i")
+
+    def test_naive_config_rank1_output(self):
+        from repro.tcr.program import TCROperation
+
+        op = TCROperation.parse("y:(i) += a:(i,j)*b:(j)")
+        kc = naive_kernel_config(op)
+        assert kc.tx == "i"
+        assert kc.ty == ONE and kc.bx == ONE
+
+    def test_optimized_borrows_decomposition(self, two_op_program):
+        space = decide_search_space(two_op_program)
+        tuned = space.config_at(space.size() // 2).kernels[0]
+        op = two_op_program.operations[0]
+        kc = optimized_kernel_config(op, tuned)
+        assert (kc.tx, kc.ty, kc.bx, kc.by) == (tuned.tx, tuned.ty, tuned.bx, tuned.by)
+        assert kc.unroll == 1
+
+    def test_ordering_naive_opt_tuned(self):
+        """naive < optimized <= roughly-tuned: Table III's ordering."""
+        wl = nwchem_kernel("d1", 1)
+        model = GPUPerformanceModel(K20)
+        acc = OpenACCModel(model)
+        naive = acc.naive_timing(wl.program)
+        space = TuningSpace([decide_search_space(wl.program)])
+        from repro.util.rng import spawn_rng
+
+        best = min(
+            (model.program_timing(wl.program, c)
+             for c in space.sample_pool(200, spawn_rng(0, "acc-test"))),
+            key=lambda t: t.kernel_s,
+        )
+        opt = acc.optimized_timing(wl.program, _cfg_of(space, model, wl.program))
+        assert naive.kernel_s > opt.kernel_s
+        assert naive.kernel_s > best.kernel_s
+
+    def test_naive_deterministic(self):
+        wl = nwchem_kernel("d2", 3)
+        acc = OpenACCModel(GPUPerformanceModel(C2050))
+        a = acc.naive_timing(wl.program).kernel_s
+        b = acc.naive_timing(wl.program).kernel_s
+        assert a == b
+
+
+def _cfg_of(space, model, program):
+    from repro.util.rng import spawn_rng
+
+    pool = space.sample_pool(200, spawn_rng(0, "acc-test"))
+    return min(pool, key=lambda c: model.program_timing(program, c).kernel_s)

@@ -1,0 +1,190 @@
+"""Physical-consistency tests of the performance models.
+
+The timing model is the autotuner's objective; if its physics is wrong in
+*direction*, the search optimizes the wrong thing.  These tests pin the
+directions: more work costs more, coalescing helps, caches only help,
+overheads have floors, rates respect peaks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.arch import ALL_GPUS, GTX980, K20
+from repro.gpusim.cpu import CPUPerformanceModel
+from repro.gpusim.kernel import build_launch
+from repro.gpusim.perfmodel import GPUPerformanceModel
+from repro.tcr.decision import decide_search_space
+from repro.tcr.space import ONE, KernelConfig
+from repro.workloads.spectral import lg3
+from repro.workloads.nwchem import nwchem_kernel
+
+
+def _lg3_launch(arch_model, elements, **overrides):
+    program = lg3(12, elements).program
+    op = program.operations[0]
+    base = dict(
+        tx="k", ty="j", bx="e", by=ONE, serial_order=("i", "l"), unroll=4
+    )
+    base.update(overrides)
+    return program, build_launch(op, KernelConfig(**base), program.dims)
+
+
+class TestWorkScaling:
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.generation)
+    def test_more_elements_cost_more(self, arch):
+        model = GPUPerformanceModel(arch)
+        times = []
+        for elements in (64, 256, 1024):
+            _p, launch = _lg3_launch(model, elements)
+            times.append(model.kernel_timing(launch).total_s)
+        assert times[0] < times[1] < times[2]
+
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.generation)
+    def test_asymptotic_linearity(self, arch):
+        """Doubling a large batch roughly doubles kernel time (<=30% off)."""
+        model = GPUPerformanceModel(arch)
+        _p, a = _lg3_launch(model, 2048)
+        _p, b = _lg3_launch(model, 4096)
+        ratio = model.kernel_timing(b).total_s / model.kernel_timing(a).total_s
+        assert 1.6 < ratio < 2.6
+
+
+class TestAccessPatterns:
+    def test_coalesced_cheaper_than_strided_everywhere(self):
+        for arch in ALL_GPUS:
+            model = GPUPerformanceModel(arch)
+            _p, good = _lg3_launch(model, 512, tx="k", ty="j")
+            _p, bad = _lg3_launch(model, 512, tx="j", ty="k")
+            assert (
+                model._memory_time(good) <= model._memory_time(bad)
+            ), arch.name
+
+    def test_fermi_strided_penalty_largest(self):
+        """128-byte transactions make Fermi hate scattered access most."""
+        def strided_ratio(arch):
+            model = GPUPerformanceModel(arch)
+            _p, good = _lg3_launch(model, 512, tx="k", ty="j")
+            _p, bad = _lg3_launch(model, 512, tx="j", ty="k")
+            return model._memory_time(bad) / model._memory_time(good)
+
+        from repro.gpusim.arch import C2050
+
+        assert strided_ratio(C2050) >= strided_ratio(GTX980) * 0.9
+
+
+class TestUnrollAndOccupancy:
+    def test_unroll_reduces_compute_component(self):
+        model = GPUPerformanceModel(GTX980)
+        _p, u1 = _lg3_launch(model, 512, unroll=1)
+        _p, u8 = _lg3_launch(model, 512, unroll=8)
+        assert model._compute_time(u8) < model._compute_time(u1)
+
+    def test_unroll_increases_register_pressure(self):
+        model = GPUPerformanceModel(GTX980)
+        _p, u1 = _lg3_launch(model, 512, unroll=1)
+        _p, u12 = _lg3_launch(model, 512, unroll=12)
+        occ1, _ = model.occupancy(u1)
+        occ12, _ = model.occupancy(u12)
+        assert occ12 <= occ1
+
+    def test_more_blocks_never_lower_utilization(self):
+        model = GPUPerformanceModel(K20)
+        _p, small = _lg3_launch(model, 16)
+        _p, big = _lg3_launch(model, 1024)
+        _occ, bps = model.occupancy(small)
+        u_small = model._utilization(small, bps)
+        _occ, bps = model.occupancy(big)
+        u_big = model._utilization(big, bps)
+        assert u_big >= u_small
+
+
+class TestRateCeilings:
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.generation)
+    def test_never_exceed_dp_peak(self, arch):
+        model = GPUPerformanceModel(arch)
+        program = nwchem_kernel("d1", 1).program
+        space = decide_search_space(program)
+        best = float("inf")
+        for kc in space.kernel_spaces[0]:
+            try:
+                launch = build_launch(program.operations[0], kc, program.dims)
+                t = model.kernel_timing(launch)
+            except Exception:
+                continue
+            best = min(best, t.total_s)
+            assert t.gflops <= arch.peak_dp_gflops * 1.0001
+        assert best < float("inf")
+
+    def test_launch_floor(self):
+        for arch in ALL_GPUS:
+            model = GPUPerformanceModel(arch)
+            _p, launch = _lg3_launch(model, 64)
+            assert (
+                model.kernel_timing(launch).total_s
+                >= arch.kernel_launch_us * 1e-6
+            )
+
+
+class TestCPUPhysics:
+    def test_flops_monotone_in_problem_size(self):
+        cpu = CPUPerformanceModel()
+        small = cpu.sequential_timing(lg3(12, 64).program)
+        big = cpu.sequential_timing(lg3(12, 512).program)
+        assert big.total_s > small.total_s
+        # and throughput roughly constant across sizes in the same regime
+        assert big.gflops == pytest.approx(small.gflops, rel=0.5)
+
+    def test_threads_never_slow_down(self):
+        cpu = CPUPerformanceModel()
+        program = lg3(12, 256).program
+        t1 = cpu.openmp_timing(program, threads=1)
+        t4 = cpu.openmp_timing(program, threads=4)
+        assert t4.total_s <= t1.total_s
+
+    def test_rates_below_vector_peak(self):
+        cpu = CPUPerformanceModel()
+        for tuned in (False, True):
+            t = cpu.sequential_timing(lg3(12, 256).program, tuned=tuned)
+            peak = cpu.arch.clock_ghz * cpu.arch.vector_flops_per_cycle
+            assert t.gflops <= peak
+
+    def test_deterministic(self):
+        cpu = CPUPerformanceModel()
+        program = nwchem_kernel("s1", 2).program
+        a = cpu.sequential_timing(program).total_s
+        b = cpu.sequential_timing(program).total_s
+        assert a == b
+
+
+class TestNoiseDiscipline:
+    def test_systematic_noise_is_bounded(self):
+        """The per-config wobble stays within the calibrated amplitude."""
+        model = GPUPerformanceModel(GTX980)
+        program = lg3(12, 128).program
+        space = decide_search_space(program)
+        amp = model.cal.systematic_noise
+        # Compare two configs differing only in unroll: times must stay
+        # within physics +/- wobble of each other when unroll is saturated.
+        ks = space.kernel_spaces[0]
+        pairs = {}
+        for kc in ks:
+            key = (kc.tx, kc.ty, kc.bx, kc.by, kc.serial_order)
+            pairs.setdefault(key, []).append(kc)
+        checked = 0
+        from repro.errors import ConfigurationError
+
+        for group in pairs.values():
+            us = {kc.unroll: kc for kc in group}
+            if 11 in us and 12 in us:
+                try:
+                    a = model.kernel_timing(
+                        build_launch(ks.operation, us[11], program.dims)
+                    ).total_s
+                    b = model.kernel_timing(
+                        build_launch(ks.operation, us[12], program.dims)
+                    ).total_s
+                except ConfigurationError:
+                    continue  # e.g. ty="e" blocks exceed the device limit
+                assert abs(a - b) / min(a, b) < 4 * amp + 0.08
+                checked += 1
+        assert checked > 0

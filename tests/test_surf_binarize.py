@@ -1,0 +1,88 @@
+"""Tests for feature binarization (Section V's preprocessing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.surf.binarize import FeatureBinarizer
+
+
+def dicts():
+    return [
+        {"tx": "i", "unroll": 1},
+        {"tx": "j", "unroll": 4},
+        {"tx": "i", "unroll": 2},
+    ]
+
+
+class TestFit:
+    def test_columns(self):
+        b = FeatureBinarizer().fit(dicts())
+        assert ("tx", "i") in b.columns
+        assert ("tx", "j") in b.columns
+        assert ("unroll", None) in b.columns
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(SearchError, match="empty"):
+            FeatureBinarizer().fit([])
+
+    def test_inconsistent_keys_rejected(self):
+        with pytest.raises(SearchError, match="inconsistent"):
+            FeatureBinarizer().fit([{"a": "x"}, {"b": "y"}])
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(SearchError, match="mix"):
+            FeatureBinarizer().fit([{"a": "x"}, {"a": 3}])
+
+    def test_unsupported_value_rejected(self):
+        with pytest.raises(SearchError, match="unsupported"):
+            FeatureBinarizer().fit([{"a": [1, 2]}])
+
+    def test_unfit_usage_rejected(self):
+        with pytest.raises(SearchError, match="not been fit"):
+            FeatureBinarizer().transform(dicts())
+        with pytest.raises(SearchError, match="not been fit"):
+            _ = FeatureBinarizer().columns
+
+
+class TestTransform:
+    def test_one_hot_rows(self):
+        b = FeatureBinarizer().fit(dicts())
+        X = b.transform(dicts())
+        assert X.shape == (3, 3)  # tx=i, tx=j, unroll
+        cols = {c: n for n, c in enumerate(b.columns)}
+        np.testing.assert_array_equal(X[:, cols[("tx", "i")]], [1, 0, 1])
+        np.testing.assert_array_equal(X[:, cols[("tx", "j")]], [0, 1, 0])
+        np.testing.assert_array_equal(X[:, cols[("unroll", None)]], [1, 4, 2])
+
+    def test_exactly_one_hot_per_categorical(self):
+        b = FeatureBinarizer().fit(dicts())
+        X = b.transform(dicts())
+        tx_cols = [n for n, c in enumerate(b.columns) if c[0] == "tx"]
+        np.testing.assert_array_equal(X[:, tx_cols].sum(axis=1), [1, 1, 1])
+
+    def test_unseen_category_is_all_zero(self):
+        b = FeatureBinarizer().fit(dicts())
+        X = b.transform([{"tx": "zzz", "unroll": 3}])
+        tx_cols = [n for n, c in enumerate(b.columns) if c[0] == "tx"]
+        assert X[0, tx_cols].sum() == 0
+
+    def test_unseen_numeric_rejected(self):
+        b = FeatureBinarizer().fit(dicts())
+        with pytest.raises(SearchError, match="was not seen"):
+            b.transform([{"tx": "i", "unroll": 1, "extra": 9}])
+
+    def test_fit_transform(self):
+        X = FeatureBinarizer().fit_transform(dicts())
+        assert X.shape == (3, 3)
+
+    def test_program_config_features_binarize(self, two_op_program):
+        from repro.tcr.decision import decide_search_space
+        from repro.tcr.space import TuningSpace
+
+        ts = TuningSpace([decide_search_space(two_op_program)])
+        feats = [ts.config_at(g).features() for g in range(0, ts.size(), max(1, ts.size() // 50))]
+        X = FeatureBinarizer().fit_transform(feats)
+        assert X.shape[0] == len(feats)
+        assert X.shape[1] > 5
+        assert np.isfinite(X).all()

@@ -1,0 +1,131 @@
+"""Tests for the from-scratch extremely randomized trees."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.surf.forest import ExtraTreesRegressor
+from repro.surf.tree import ExtraTreeRegressor
+from repro.util.rng import spawn_rng
+
+
+def toy_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 3))
+    y = 2 * X[:, 0] + np.sin(3 * X[:, 1]) + 0.1 * rng.standard_normal(n)
+    return X, y
+
+
+class TestExtraTree:
+    def test_fits_and_predicts(self):
+        X, y = toy_data()
+        tree = ExtraTreeRegressor(rng=spawn_rng(0, "t")).fit(X, y)
+        pred = tree.predict(X)
+        assert pred.shape == y.shape
+        # Training error far below variance (trees interpolate).
+        assert np.mean((pred - y) ** 2) < 0.5 * y.var()
+
+    def test_constant_target_single_leaf(self):
+        X = np.zeros((10, 2))
+        y = np.full(10, 3.5)
+        tree = ExtraTreeRegressor(rng=spawn_rng(0, "c")).fit(X, y)
+        assert tree.node_count == 1
+        np.testing.assert_allclose(tree.predict(np.ones((3, 2))), 3.5)
+
+    def test_predictions_within_target_range(self):
+        X, y = toy_data()
+        tree = ExtraTreeRegressor(rng=spawn_rng(1, "r")).fit(X, y)
+        grid = np.random.default_rng(1).uniform(-2, 2, size=(100, 3))
+        pred = tree.predict(grid)
+        assert pred.min() >= y.min() - 1e-12
+        assert pred.max() <= y.max() + 1e-12
+
+    def test_max_depth_respected(self):
+        X, y = toy_data()
+        tree = ExtraTreeRegressor(max_depth=3, rng=spawn_rng(0, "d")).fit(X, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_split(self):
+        X, y = toy_data(50)
+        big = ExtraTreeRegressor(min_samples_split=25, rng=spawn_rng(0, "m")).fit(X, y)
+        small = ExtraTreeRegressor(min_samples_split=2, rng=spawn_rng(0, "m")).fit(X, y)
+        assert big.node_count < small.node_count
+
+    def test_bad_shapes(self):
+        with pytest.raises(SearchError, match="shapes"):
+            ExtraTreeRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(SearchError, match="zero samples"):
+            ExtraTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_unfit_predict(self):
+        with pytest.raises(SearchError, match="not been fit"):
+            ExtraTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_single_sample(self):
+        tree = ExtraTreeRegressor(rng=spawn_rng(0, "s")).fit(
+            np.array([[1.0, 2.0]]), np.array([7.0])
+        )
+        np.testing.assert_allclose(tree.predict(np.zeros((2, 2))), 7.0)
+
+    def test_one_hot_features_supported(self):
+        # Binarized categoricals: splits on {0,1} columns must work.
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 2, size=(150, 4)).astype(float)
+        y = 3 * X[:, 0] - 2 * X[:, 2] + 0.01 * rng.standard_normal(150)
+        tree = ExtraTreeRegressor(rng=spawn_rng(2, "b")).fit(X, y)
+        assert np.mean((tree.predict(X) - y) ** 2) < 0.1
+
+
+class TestForest:
+    def test_better_than_single_tree_on_test_set(self):
+        X, y = toy_data(300, seed=1)
+        Xt, yt = toy_data(100, seed=2)
+        tree = ExtraTreeRegressor(rng=spawn_rng(0, "f")).fit(X, y)
+        forest = ExtraTreesRegressor(n_estimators=30, seed=0).fit(X, y)
+        mse_tree = np.mean((tree.predict(Xt) - yt) ** 2)
+        mse_forest = np.mean((forest.predict(Xt) - yt) ** 2)
+        assert mse_forest < mse_tree
+
+    def test_deterministic_given_seed(self):
+        X, y = toy_data()
+        a = ExtraTreesRegressor(n_estimators=5, seed=3).fit(X, y).predict(X[:10])
+        b = ExtraTreesRegressor(n_estimators=5, seed=3).fit(X, y).predict(X[:10])
+        np.testing.assert_array_equal(a, b)
+
+    def test_refits_change_streams_but_stay_deterministic(self):
+        X, y = toy_data()
+        # Probe off-training points: fully-grown trees interpolate the
+        # training set exactly, so only held-out predictions reveal the
+        # refit's new randomness.
+        probe = np.random.default_rng(9).uniform(-1, 1, size=(20, 3))
+        forest = ExtraTreesRegressor(n_estimators=5, seed=3)
+        forest.fit(X, y)
+        first = forest.predict(probe).copy()
+        forest.fit(X, y)  # refit (as SURF does every iteration)
+        second = forest.predict(probe)
+        # Streams advanced, so trees differ...
+        assert not np.array_equal(first, second)
+        # ...but the whole sequence is reproducible from scratch.
+        again = ExtraTreesRegressor(n_estimators=5, seed=3)
+        again.fit(X, y)
+        again.fit(X, y)
+        np.testing.assert_array_equal(second, again.predict(probe))
+
+    def test_predict_std(self):
+        X, y = toy_data()
+        forest = ExtraTreesRegressor(n_estimators=10, seed=0).fit(X, y)
+        std = forest.predict_std(X[:20])
+        assert (std >= 0).all()
+
+    def test_score_r2(self):
+        X, y = toy_data()
+        forest = ExtraTreesRegressor(n_estimators=20, seed=0).fit(X, y)
+        assert forest.score(X, y) > 0.8
+
+    def test_zero_estimators_rejected(self):
+        with pytest.raises(SearchError, match="at least one"):
+            ExtraTreesRegressor(n_estimators=0)
+
+    def test_unfit_rejected(self):
+        with pytest.raises(SearchError, match="not been fit"):
+            ExtraTreesRegressor().predict(np.zeros((1, 2)))

@@ -1,0 +1,146 @@
+"""Tests for the C / CUDA code generators and the Orio annotation emitter."""
+
+import re
+
+import pytest
+
+from repro.core.pipeline import compile_contraction
+from repro.tcr.codegen_c import generate_c, generate_c_fused, linearized_subscript
+from repro.tcr.codegen_cuda import generate_cuda_program, generate_kernel, kernel_name
+from repro.tcr.decision import decide_search_space
+from repro.tcr.orio import emit_chill_recipe, emit_orio_annotation, emit_performance_params
+from repro.core.tensor import TensorRef
+
+
+class TestLinearizedSubscript:
+    def test_row_major(self):
+        ref = TensorRef("v", ("i", "j", "k"))
+        dims = {"i": 10, "j": 10, "k": 10}
+        assert linearized_subscript(ref, ("i", "j", "k"), dims) == "i*100 + j*10 + k"
+
+    def test_scalar(self):
+        assert linearized_subscript(TensorRef("s", ()), (), {}) == "0"
+
+    def test_positional_binding(self):
+        # Access o:(j,i) of an array laid out (i_axis, j_axis): positional.
+        ref = TensorRef("o", ("j", "i"))
+        dims = {"i": 4, "j": 4}
+        assert linearized_subscript(ref, ("i", "j"), dims) == "j*4 + i"
+
+
+class TestGenerateC:
+    def test_loop_structure(self, two_op_program):
+        code = generate_c(two_op_program)
+        # One nest per op: (i,k,j) and (i,l,k).
+        assert code.count("for (") == 6
+        assert "temp1[i*4 + k] += A[i*4 + j] * B[j*4 + k];" in code
+
+    def test_braces_balance(self, two_op_program):
+        code = generate_c(two_op_program)
+        assert code.count("{") == code.count("}")
+
+    def test_fused_shares_outer_loops(self, two_op_program):
+        fused = generate_c_fused(two_op_program)
+        unfused = generate_c(two_op_program)
+        assert fused.count("for (") < unfused.count("for (")
+        assert fused.count("{") == fused.count("}")
+
+    def test_eqn1_variant_compiles_shape(self, eqn1_small):
+        best = min(
+            compile_contraction(eqn1_small).variants, key=lambda v: v.flops
+        )
+        code = generate_c(best.program)
+        assert code.count("for (") == 12  # 3 nests x 4 loops
+        assert "V[" in code
+
+
+class TestGenerateCuda:
+    def _tuned(self, program):
+        space = decide_search_space(program)
+        return space.config_at(space.size() // 3)
+
+    def test_kernel_declarations(self, two_op_program):
+        config = self._tuned(two_op_program)
+        cuda = generate_cuda_program(two_op_program, config)
+        assert "__global__ void chain_GPU_0" in cuda
+        assert "__global__ void chain_GPU_1" in cuda
+        assert "cudaMemcpyHostToDevice" in cuda
+        assert "cudaMemcpyDeviceToHost" in cuda
+        assert cuda.count("{") == cuda.count("}")
+
+    def test_scalar_replacement_pattern(self, two_op_program):
+        config = self._tuned(two_op_program)
+        kernel = generate_kernel(two_op_program, 0, config.kernels[0])
+        # One load into the register, one store back (Fig. 2d shape).
+        assert re.search(r"double nv = temp1\[[^]]+\];", kernel)
+        assert re.search(r"temp1\[[^]]+\] = nv;", kernel)
+
+    def test_unroll_main_and_remainder(self, two_op_program):
+        space = decide_search_space(two_op_program)
+        # find a config with unroll 3 over the j loop (extent 4): main 0..2,
+        # remainder one literal statement.
+        kc = next(
+            c for c in space.kernel_spaces[0]
+            if c.unroll == 3 and c.serial_order
+        )
+        kernel = generate_kernel(two_op_program, 0, kc)
+        assert "+= 3" in kernel
+        assert "(j + 1)" in kernel and "(j + 2)" in kernel
+        # literal remainder for j = 3:
+        assert re.search(r"A\[[^]]*3\]", kernel) or "3]" in kernel
+
+    def test_exact_unroll_has_no_remainder(self, two_op_program):
+        space = decide_search_space(two_op_program)
+        kc = next(c for c in space.kernel_spaces[0] if c.unroll == 4)
+        kernel = generate_kernel(two_op_program, 0, kc)
+        # main loop covers 0..0 step 4; no trailing literal statements
+        assert "j <= 0; j += 4" in kernel
+
+    def test_block_thread_shorthands(self, two_op_program):
+        config = self._tuned(two_op_program)
+        kernel = generate_kernel(two_op_program, 0, config.kernels[0])
+        assert "int tx = threadIdx.x;" in kernel
+        if config.kernels[0].bx != "1":
+            assert "int bx = blockIdx.x;" in kernel
+
+    def test_grid_dims_in_launch(self, two_op_program):
+        config = self._tuned(two_op_program)
+        cuda = generate_cuda_program(two_op_program, config)
+        assert re.search(r"<<<dim3\(\d+, \d+\), dim3\(\d+, \d+\)>>>", cuda)
+
+    def test_kernel_name_sanitization(self, two_op_program):
+        two_op_program.name = "weird-name.1"
+        assert kernel_name(two_op_program, 0) == "weird_name_1_GPU_0"
+        two_op_program.name = "chain"
+
+
+class TestOrio:
+    def test_params_block(self, two_op_program):
+        space = decide_search_space(two_op_program)
+        text = emit_performance_params(space)
+        assert "def performance_params {" in text
+        assert "param PERMUTE_0_TX0[]" in text
+        assert "param UF_0[] = [1,2,3,4];" in text
+        assert "param PERMUTE_1_BY1[]" in text
+
+    def test_recipe_block(self, two_op_program):
+        space = decide_search_space(two_op_program)
+        text = emit_chill_recipe(space)
+        assert "/*@ begin CHiLL (" in text
+        assert 'registers(0,"j","temp1")' in text
+        assert 'unroll(1,"k",UF_1)' in text
+        assert text.strip().endswith(") @*/")
+
+    def test_full_annotation_contains_code(self, two_op_program):
+        space = decide_search_space(two_op_program)
+        text = emit_orio_annotation(space)
+        assert "performance_params" in text
+        assert "for (" in text
+
+    def test_one_value_lists_quote_one(self):
+        from repro.workloads.spectral import lg3
+
+        program = lg3(4, 8).program
+        space = decide_search_space(program)
+        text = emit_performance_params(space)
+        assert "'1'" in text  # the ONE option is rendered like the paper's

@@ -1,0 +1,112 @@
+"""Tests for loop-nest construction and the domain dependence rule."""
+
+import itertools
+
+import pytest
+
+from repro.core.tensor import TensorRef
+from repro.errors import TCRError
+from repro.tcr.dependence import (
+    carried_dependence_indices,
+    parallel_indices,
+    verify_rule_by_enumeration,
+)
+from repro.tcr.loopnest import build_loop_nest
+from repro.tcr.program import TCROperation
+
+
+class TestLoopNest:
+    def test_default_order(self, two_op_program):
+        op = two_op_program.operations[0]
+        nest = build_loop_nest(op, two_op_program.dims)
+        assert nest.order == ("i", "k", "j")
+        assert nest.innermost.index == "j"
+        assert not nest.innermost.parallel
+
+    def test_parallel_flags(self, two_op_program):
+        op = two_op_program.operations[0]
+        nest = build_loop_nest(op, two_op_program.dims)
+        assert [lp.index for lp in nest.parallel_loops] == ["i", "k"]
+        assert [lp.index for lp in nest.reduction_loops] == ["j"]
+
+    def test_trip_count(self, two_op_program):
+        nest = build_loop_nest(
+            two_op_program.operations[0], two_op_program.dims
+        )
+        assert nest.trip_count() == 4**3
+
+    def test_permuted(self, two_op_program):
+        nest = build_loop_nest(
+            two_op_program.operations[0], two_op_program.dims
+        )
+        swapped = nest.permuted(("j", "k", "i"))
+        assert swapped.order == ("j", "k", "i")
+        assert swapped.extent_of("j") == 4
+
+    def test_permuted_rejects_non_permutation(self, two_op_program):
+        nest = build_loop_nest(
+            two_op_program.operations[0], two_op_program.dims
+        )
+        with pytest.raises(TCRError, match="permutation"):
+            nest.permuted(("i", "k"))
+
+    def test_bad_order_rejected(self, two_op_program):
+        op = two_op_program.operations[0]
+        with pytest.raises(TCRError, match="permutation"):
+            build_loop_nest(op, two_op_program.dims, order=("i", "k"))
+
+    def test_str_renders_nest(self, two_op_program):
+        nest = build_loop_nest(
+            two_op_program.operations[0], two_op_program.dims
+        )
+        text = str(nest)
+        assert "for i" in text and "[par]" in text and "[red]" in text
+
+
+class TestDependenceRule:
+    def test_rule_on_chain(self, two_op_program):
+        op = two_op_program.operations[0]
+        assert carried_dependence_indices(op) == ("j",)
+        assert parallel_indices(op) == ("i", "k")
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "o:(i,j) += a:(i,k)*b:(k,j)",      # matmul
+            "o:(i) += a:(i,j)*b:(j)",          # matvec
+            "o:(i,j) += a:(i)*b:(j)",          # outer product (no reduction)
+            "o:(i,j,k) += a:(l,k)*b:(i,j,l)",  # rank-3 contraction
+            "o:() += a:(i)*b:(i)",             # dot product (all reduction)
+        ],
+    )
+    def test_rule_matches_brute_force(self, line):
+        op = TCROperation.parse(line)
+        dims = {i: 3 for i in op.all_indices}
+        assert verify_rule_by_enumeration(op, dims)
+
+    def test_enumeration_guard(self):
+        op = TCROperation.parse("o:(i,j) += a:(i,k)*b:(k,j)")
+        dims = {"i": 100, "j": 100, "k": 100}
+        with pytest.raises(ValueError, match="max_points"):
+            verify_rule_by_enumeration(op, dims)
+
+    def test_exhaustive_small_operations(self):
+        # Sweep all assignments of 3 indices across two rank-2 inputs and a
+        # rank-<=2 output; the rule must agree with brute force every time.
+        indices = ("i", "j", "k")
+        dims = {i: 2 for i in indices}
+        checked = 0
+        for a_idx in itertools.permutations(indices, 2):
+            for b_idx in itertools.permutations(indices, 2):
+                covered = set(a_idx) | set(b_idx)
+                if covered != set(indices):
+                    continue
+                for out_len in (1, 2):
+                    for out_idx in itertools.permutations(sorted(covered), out_len):
+                        op = TCROperation(
+                            output=TensorRef("o", out_idx),
+                            inputs=(TensorRef("a", a_idx), TensorRef("b", b_idx)),
+                        )
+                        assert verify_rule_by_enumeration(op, dims), op
+                        checked += 1
+        assert checked > 20

@@ -1,0 +1,106 @@
+"""Tests for contiguity, strides and coalescing analysis."""
+
+from repro.core.tensor import TensorRef
+from repro.tcr.memory import (
+    access_analysis,
+    coalescing_indices,
+    contiguous_tensors,
+    is_contiguous,
+    stride_of,
+)
+from repro.tcr.program import TCROperation
+
+
+class TestContiguity:
+    def test_memory_order_access_is_contiguous(self):
+        ref = TensorRef("a", ("i", "k"))
+        assert is_contiguous(ref, ("i", "j", "k"))
+
+    def test_permuted_access_is_not(self):
+        ref = TensorRef("a", ("k", "i"))
+        assert not is_contiguous(ref, ("i", "j", "k"))
+
+    def test_index_outside_loops(self):
+        ref = TensorRef("a", ("z",))
+        assert not is_contiguous(ref, ("i", "j"))
+
+    def test_paper_example_classification(self):
+        # temp1:(i,l,m) += C:(n,i)*U:(l,m,n) under loops (i,l,m,n):
+        op = TCROperation.parse("temp1:(i,l,m) += C:(n,i)*U:(l,m,n)")
+        contiguous = contiguous_tensors(op)
+        names = {r.name for r in contiguous}
+        # C(n,i): positions (3,0) -> not sorted; U(l,m,n): (1,2,3) -> sorted.
+        assert names == {"U"}
+
+    def test_include_output(self):
+        op = TCROperation.parse("temp1:(i,l,m) += C:(n,i)*U:(l,m,n)")
+        with_out = contiguous_tensors(op, include_output=True)
+        assert any(r.name == "temp1" for r in with_out)
+
+    def test_lg3_classification(self):
+        from repro.workloads.spectral import lg3
+
+        program = lg3(4, 8).program
+        op = program.operations[0]  # ur += d(i,l) * u(e,l,j,k)
+        names = {r.name for r in contiguous_tensors(op)}
+        assert names == {"d"}
+
+
+class TestStrides:
+    def test_stride_of_layout(self):
+        ref = TensorRef("u", ("e", "l", "j", "k"))
+        dims = {"e": 8, "l": 4, "j": 4, "k": 4}
+        assert stride_of(ref, "k", dims) == 1
+        assert stride_of(ref, "j", dims) == 4
+        assert stride_of(ref, "l", dims) == 16
+        assert stride_of(ref, "e", dims) == 64
+
+    def test_absent_index_stride_zero(self):
+        ref = TensorRef("a", ("i",))
+        assert stride_of(ref, "z", {"i": 4}) == 0
+
+
+class TestCoalescing:
+    def test_matmul_coalescing(self):
+        op = TCROperation.parse("o:(i,j) += a:(i,k)*b:(k,j)")
+        dims = {i: 8 for i in "ijk"}
+        # j is stride-1 in b (and in the output); k is a reduction index.
+        assert "j" in coalescing_indices(op, dims)
+        assert "k" not in coalescing_indices(op, dims)
+
+    def test_reductions_excluded_by_default(self):
+        op = TCROperation.parse("o:(i) += a:(i,k)*b:(k)")
+        dims = {"i": 4, "k": 4}
+        # i is stride-1 only in the output; k (stride-1 in a and b) is a
+        # reduction index and is excluded unless parallel_only is dropped.
+        assert coalescing_indices(op, dims) == ("i",)
+        assert coalescing_indices(op, dims, include_output=False) == ()
+        assert "k" in coalescing_indices(op, dims, parallel_only=False)
+
+    def test_output_coalescing_counts(self):
+        # s1-style outer product: only the output's last index is stride-1
+        # for any parallel loop choice of ThreadX.
+        op = TCROperation.parse("t3:(h3,h1,p4) += t1:(p4,h1)*v2:(h3,h2)")
+        dims = {i: 4 for i in ("h3", "h1", "p4", "h2")}
+        with_out = coalescing_indices(op, dims, include_output=True)
+        without = coalescing_indices(op, dims, include_output=False)
+        assert "p4" in with_out
+        assert set(without) <= set(with_out)
+
+
+class TestAccessAnalysis:
+    def test_labels_and_patterns(self):
+        op = TCROperation.parse("o:(i,j) += a:(i,k)*b:(k,j)")
+        dims = {i: 8 for i in "ijk"}
+        analysis = access_analysis(op, dims)
+        assert set(analysis) == {"in0", "in1", "out"}
+        assert analysis["in1"].strides["j"] == 1
+        assert analysis["out"].contiguous
+        assert analysis["in0"].invariant_in("j")
+
+    def test_elements(self):
+        op = TCROperation.parse("o:(i,j) += a:(i,k)*b:(k,j)")
+        dims = {"i": 2, "j": 3, "k": 5}
+        analysis = access_analysis(op, dims)
+        assert analysis["in0"].elements(dims) == 10
+        assert analysis["out"].elements(dims) == 6

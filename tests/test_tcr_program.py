@@ -1,0 +1,246 @@
+"""Tests for the TCR program IR and its Fig. 2(b) text format."""
+
+import numpy as np
+import pytest
+
+from repro.core.tensor import TensorRef
+from repro.errors import TCRError
+from repro.tcr.program import TCROperation, TCRProgram
+
+
+class TestTCROperation:
+    def test_dependence_classification(self, two_op_program):
+        op = two_op_program.operations[0]
+        assert op.parallel_indices == ("i", "k")
+        assert op.reduction_indices == ("j",)
+        assert op.all_indices == ("i", "k", "j")
+
+    def test_unary_operation(self):
+        op = TCROperation(
+            TensorRef("y", ("i",)), (TensorRef("a", ("i", "j")),)
+        )
+        assert op.reduction_indices == ("j",)
+
+    def test_rejects_three_inputs(self):
+        refs = tuple(TensorRef(n, ("i",)) for n in "abc")
+        with pytest.raises(TCRError, match="unary or binary"):
+            TCROperation(TensorRef("o", ("i",)), refs)
+
+    def test_rejects_dangling_output_index(self):
+        with pytest.raises(TCRError, match="do not appear"):
+            TCROperation(
+                TensorRef("o", ("i", "z")), (TensorRef("a", ("i",)),)
+            )
+
+    def test_flops(self):
+        op = TCROperation(
+            TensorRef("c", ("i", "j")),
+            (TensorRef("a", ("i", "k")), TensorRef("b", ("k", "j"))),
+        )
+        assert op.flops({"i": 2, "j": 3, "k": 5}) == 2 * 2 * 3 * 5
+
+    def test_parse_round_trip(self):
+        line = "temp1:(i,l,m) += C:(n,i)*U:(l,m,n)"
+        op = TCROperation.parse(line)
+        assert str(op) == line
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(TCRError, match="'\\+='"):
+            TCROperation.parse("temp1:(i) = C:(i)")
+
+    def test_to_contraction(self):
+        op = TCROperation.parse("o:(i) += a:(i,j)*b:(j)")
+        c = op.to_contraction({"i": 3, "j": 4})
+        assert c.summation_indices == ("j",)
+
+
+class TestProgramStructure:
+    def test_roles(self, two_op_program):
+        assert two_op_program.input_names == ("A", "B", "C")
+        assert two_op_program.temporaries == ("temp1",)
+        assert two_op_program.output_names == ("Y",)
+        assert two_op_program.output_name == "Y"
+
+    def test_multi_output_program(self):
+        program = TCRProgram(
+            name="multi",
+            dims={"i": 3, "j": 3},
+            arrays={"a": ("i", "j"), "x": ("i", "j"), "y": ("i", "j")},
+            operations=[
+                TCROperation(TensorRef("x", ("i", "j")), (TensorRef("a", ("i", "j")),)),
+                TCROperation(TensorRef("y", ("i", "j")), (TensorRef("a", ("i", "j")),)),
+            ],
+        )
+        assert set(program.output_names) == {"x", "y"}
+        with pytest.raises(TCRError, match="outputs"):
+            _ = program.output_name
+
+    def test_accumulating_output_not_a_temp(self):
+        # Two ops writing the same array (lg3t style): it is an output.
+        program = TCRProgram(
+            name="accum",
+            dims={"i": 3, "j": 3},
+            arrays={"a": ("i", "j"), "b": ("i", "j"), "u": ("i", "j")},
+            operations=[
+                TCROperation(TensorRef("u", ("i", "j")), (TensorRef("a", ("i", "j")),)),
+                TCROperation(TensorRef("u", ("i", "j")), (TensorRef("b", ("i", "j")),)),
+            ],
+        )
+        assert program.output_names == ("u",)
+        assert program.temporaries == ()
+
+    def test_flops_and_transfer(self, two_op_program):
+        assert two_op_program.flops() == 2 * (2 * 4**3)
+        h2d, d2h = two_op_program.transfer_elements()
+        assert h2d == 3 * 16
+        assert d2h == 16
+
+
+class TestValidation:
+    def test_undeclared_variable(self):
+        with pytest.raises(TCRError, match="undeclared"):
+            TCRProgram(
+                name="bad",
+                dims={"i": 3},
+                arrays={"a": ("i",)},
+                operations=[
+                    TCROperation(TensorRef("o", ("i",)), (TensorRef("a", ("i",)),))
+                ],
+            )
+
+    def test_rank_mismatch(self):
+        with pytest.raises(TCRError, match="rank"):
+            TCRProgram(
+                name="bad",
+                dims={"i": 3, "j": 3},
+                arrays={"a": ("i", "j"), "o": ("i",)},
+                operations=[
+                    TCROperation(TensorRef("o", ("i",)), (TensorRef("a", ("i",)),))
+                ],
+            )
+
+    def test_extent_mismatch_on_positional_access(self):
+        with pytest.raises(TCRError, match="extent"):
+            TCRProgram(
+                name="bad",
+                dims={"i": 3, "j": 5},
+                arrays={"a": ("i", "j"), "o": ("i", "j")},
+                operations=[
+                    TCROperation(
+                        TensorRef("o", ("i", "j")),
+                        (TensorRef("a", ("j", "i")),),  # 5x3 access of a 3x5 array
+                    )
+                ],
+            )
+
+    def test_read_before_write(self):
+        with pytest.raises(TCRError, match="before it is written"):
+            TCRProgram(
+                name="bad",
+                dims={"i": 3},
+                arrays={"t": ("i",), "o": ("i",), "a": ("i",)},
+                operations=[
+                    TCROperation(TensorRef("o", ("i",)), (TensorRef("t", ("i",)),)),
+                    TCROperation(TensorRef("t", ("i",)), (TensorRef("a", ("i",)),)),
+                ],
+            )
+
+    def test_empty_program(self):
+        with pytest.raises(TCRError, match="no operations"):
+            TCRProgram(name="bad", dims={}, arrays={}, operations=[])
+
+
+class TestEvaluation:
+    def test_chain_matches_matmul(self, two_op_program):
+        inputs = two_op_program.random_inputs(0)
+        expected = inputs["A"] @ inputs["B"] @ inputs["C"]
+        np.testing.assert_allclose(two_op_program.evaluate(inputs), expected)
+
+    def test_evaluate_all_exposes_temps(self, two_op_program):
+        inputs = two_op_program.random_inputs(0)
+        env = two_op_program.evaluate_all(inputs)
+        assert set(env) == {"temp1", "Y"}
+        np.testing.assert_allclose(env["temp1"], inputs["A"] @ inputs["B"])
+
+    def test_missing_input(self, two_op_program):
+        with pytest.raises(TCRError, match="missing input"):
+            two_op_program.evaluate({"A": np.zeros((4, 4))})
+
+    def test_wrong_input_shape(self, two_op_program):
+        bad = two_op_program.random_inputs(0)
+        bad["A"] = np.zeros((2, 2))
+        with pytest.raises(TCRError, match="shape"):
+            two_op_program.evaluate(bad)
+
+
+class TestTextFormat:
+    def test_round_trip(self, two_op_program):
+        text = two_op_program.to_text()
+        again = TCRProgram.from_text(text)
+        assert again.dims == two_op_program.dims
+        assert again.arrays == two_op_program.arrays
+        assert [str(o) for o in again.operations] == [
+            str(o) for o in two_op_program.operations
+        ]
+
+    def test_text_has_paper_sections(self, two_op_program):
+        text = two_op_program.to_text()
+        for section in ("access: linearize", "define:", "variables:", "operations:"):
+            assert section in text
+
+    def test_define_groups_by_size(self):
+        program = TCRProgram(
+            name="mix",
+            dims={"e": 100, "i": 4},
+            arrays={"a": ("e", "i"), "o": ("e", "i")},
+            operations=[
+                TCROperation(
+                    TensorRef("o", ("e", "i")), (TensorRef("a", ("e", "i")),)
+                )
+            ],
+        )
+        text = program.to_text()
+        assert "I = 4" in text
+        assert "E = 100" in text
+
+    def test_from_text_fig2b(self):
+        text = """
+        ex
+        access: linearize
+        define:
+        N = J = M = I = L = K = 10
+        variables:
+        A:(L,K)
+        C:(N,I)
+        B:(M,J)
+        U:(L,M,N)
+        V:(I,J,K)
+        temp1:(I,L,M)
+        temp3:(J,I,L)
+        operations:
+        temp1:(i,l,m) += C:(n,i)*U:(l,m,n)
+        temp3:(j,i,l) += B:(m,j)*temp1:(i,l,m)
+        V:(i,j,k) += A:(l,k)*temp3:(j,i,l)
+        """
+        program = TCRProgram.from_text(text)
+        assert program.name == "ex"
+        assert program.dims["n"] == 10
+        assert program.temporaries == ("temp1", "temp3")
+        assert program.output_name == "V"
+        # And it computes Eqn.(1):
+        from repro.dsl.parser import parse_contraction
+
+        eqn1 = parse_contraction(
+            "dim i j k l m n = 10\n"
+            "V[i j k] = Sum([l m n], A[l k] * B[m j] * C[n i] * U[l m n])"
+        )
+        inputs = eqn1.random_inputs(5)
+        np.testing.assert_allclose(
+            program.evaluate(inputs), eqn1.evaluate(inputs)
+        )
+
+    def test_from_text_errors(self):
+        with pytest.raises(TCRError):
+            TCRProgram.from_text("just one line")
+        with pytest.raises(TCRError, match="define"):
+            TCRProgram.from_text("name\naccess: linearize\nvariables:\nx:(I)\n")

@@ -1,0 +1,59 @@
+"""Tests for repro.util.tables — report rendering."""
+
+import pytest
+
+from repro.util.tables import format_bar_chart, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.00" in text and "22.50" in text
+
+    def test_title_and_separator(self):
+        text = format_table(["x"], [["y"]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+        assert set(lines[3]) == {"-"}
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["v"], [[1.0], [100.0]])
+        rows = text.splitlines()[-2:]
+        assert rows[0].endswith("1.00")
+        assert rows[1].endswith("100.00")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatBarChart:
+    def test_bars_scale_with_values(self):
+        text = format_bar_chart(
+            ["k1", "k2"], {"s": [1.0, 2.0]}, width=10
+        )
+        lines = [ln for ln in text.splitlines() if "|" in ln]
+        assert lines[0].count("#") * 2 == lines[1].count("#")
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError, match="values"):
+            format_bar_chart(["a"], {"s": [1.0, 2.0]})
+
+    def test_requires_some_series(self):
+        with pytest.raises(ValueError, match="series"):
+            format_bar_chart(["a"], {})
+
+    def test_unit_suffix(self):
+        text = format_bar_chart(["a"], {"s": [3.0]}, unit="x")
+        assert "3.00x" in text
+
+    def test_zero_values_render(self):
+        text = format_bar_chart(["a"], {"s": [0.0]})
+        assert "0.00" in text

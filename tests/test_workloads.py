@@ -1,0 +1,158 @@
+"""Tests for the Table I workload definitions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    TABLE1,
+    eqn1,
+    get_workload,
+    lg3,
+    lg3t,
+    nwchem_family,
+    nwchem_kernel,
+    tce_ex,
+    workload_names,
+)
+from repro.workloads.base import Workload
+
+
+class TestRegistry:
+    def test_names_cover_families(self):
+        names = workload_names()
+        assert "eqn1" in names and "lg3t" in names
+        assert sum(1 for n in names if n.startswith("d1_")) == 9
+        assert len(names) == 4 + 27
+
+    def test_get_workload_dispatch(self):
+        assert get_workload("eqn1").kind == "contraction"
+        assert get_workload("lg3").kind == "program"
+        assert get_workload("d2_5").name == "d2_5"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            get_workload("nope")
+        with pytest.raises(WorkloadError):
+            get_workload("d1_zzz")
+
+    def test_table1_inventory(self):
+        names = [row[0] for row in TABLE1]
+        assert names == [
+            "eqn1", "lg3", "lg3t", "nekbone", "tce_ex", "s1", "d1", "d2",
+        ]
+
+    def test_workload_requires_exactly_one_payload(self):
+        with pytest.raises(WorkloadError, match="exactly one"):
+            Workload(name="bad", description="x")
+
+
+class TestSpectral:
+    def test_eqn1_is_fig2a(self):
+        wl = eqn1()
+        c = wl.contraction
+        assert c.output.indices == ("i", "j", "k")
+        assert all(c.dims[i] == 10 for i in "ijklmn")
+        assert wl.paper["speedup_vs_seq"] == 0.63
+
+    def test_eqn1_custom_order(self):
+        assert eqn1(n=6).contraction.dims["l"] == 6
+
+    def test_lg3_computes_derivatives(self):
+        wl = lg3(4, 3)
+        program = wl.program
+        inputs = program.random_inputs(0)
+        out = program.evaluate_all(inputs)
+        d, u = inputs["d"], inputs["u"]
+        np.testing.assert_allclose(out["ur"], np.einsum("il,eljk->eijk", d, u))
+        np.testing.assert_allclose(out["us"], np.einsum("jl,eilk->eijk", d, u))
+        np.testing.assert_allclose(out["ut"], np.einsum("kl,eijl->eijk", d, u))
+
+    def test_lg3t_is_transpose_of_lg3(self):
+        """<lg3(u), (ur,us,ut)> == <u, lg3t(ur,us,ut)> — adjointness."""
+        n, e = 4, 3
+        rng = np.random.default_rng(0)
+        d = rng.standard_normal((n, n))
+        u = rng.standard_normal((e, n, n, n))
+        vr = rng.standard_normal((e, n, n, n))
+        vs = rng.standard_normal((e, n, n, n))
+        vt = rng.standard_normal((e, n, n, n))
+
+        p3 = lg3(n, e).program
+        g = p3.evaluate_all({"d": d, "u": u})
+        lhs = np.vdot(g["ur"], vr) + np.vdot(g["us"], vs) + np.vdot(g["ut"], vt)
+
+        p3t = lg3t(n, e).program
+        w = p3t.evaluate({"dt": d.T, "d": d, "ur": vr, "us": vs, "ut": vt})
+        rhs = np.vdot(u, w)
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_lg3_flops(self):
+        wl = lg3(12, 512)
+        assert wl.program.flops() == 3 * 2 * 512 * 12**4
+
+    def test_lg3_outputs(self):
+        assert set(lg3(4, 2).program.output_names) == {"ur", "us", "ut"}
+        assert lg3t(4, 2).program.output_names == ("u",)
+
+
+class TestTCE:
+    def test_three_variants(self):
+        from repro.core.pipeline import compile_contraction
+
+        compiled = compile_contraction(tce_ex(6).contraction)
+        assert len(compiled.variants) == 3
+
+    def test_strength_reduction_saves(self):
+        wl = tce_ex(8)
+        assert wl.flops() < wl.contraction.naive_flops()
+
+    def test_reference_program_is_minimal(self):
+        wl = tce_ex(6)
+        assert wl.reference_program().flops() == wl.flops()
+
+
+class TestNWChem:
+    def test_family_sizes(self):
+        for family in ("s1", "d1", "d2"):
+            kernels = nwchem_family(family, 4)
+            assert len(kernels) == 9
+            assert [w.name for w in kernels] == [
+                f"{family}_{k}" for k in range(1, 10)
+            ]
+
+    def test_layouts_distinct_within_family(self):
+        layouts = {
+            nwchem_kernel("d1", k, 4).program.arrays["t3"] for k in range(1, 10)
+        }
+        assert len(layouts) == 9
+
+    def test_s1_is_outer_product(self):
+        op = nwchem_kernel("s1", 1, 4).program.operations[0]
+        assert op.reduction_indices == ()
+
+    def test_d1_d2_contract_one_index(self):
+        assert nwchem_kernel("d1", 1, 4).program.operations[0].reduction_indices == ("h7",)
+        assert nwchem_kernel("d2", 1, 4).program.operations[0].reduction_indices == ("p7",)
+
+    def test_all_layouts_same_values(self):
+        """The nine kernels of a family compute the same tensor, permuted."""
+        n = 4
+        inputs = nwchem_kernel("d1", 1, n).program.random_inputs(3)
+        results = [
+            nwchem_kernel("d1", k, n).program.evaluate(inputs)
+            for k in range(1, 10)
+        ]
+        reference = np.sort(results[0].ravel())
+        for r in results[1:]:
+            np.testing.assert_allclose(np.sort(r.ravel()), reference)
+
+    def test_flops_at_paper_size(self):
+        assert nwchem_kernel("d1", 1).program.flops() == 2 * 16**7
+        assert nwchem_kernel("s1", 1).program.flops() == 2 * 16**6
+
+    def test_bad_kernel_number(self):
+        with pytest.raises(WorkloadError, match="1..9"):
+            nwchem_kernel("d1", 10)
+        with pytest.raises(WorkloadError, match="unknown NWChem family"):
+            nwchem_kernel("d3", 1)

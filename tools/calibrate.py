@@ -1,0 +1,60 @@
+"""Calibration harness: prints paper-vs-model for every headline number.
+
+Run after any change to the gpusim constants:
+    python tools/calibrate.py [--quick]
+"""
+import sys, time
+from repro.workloads import eqn1, lg3, lg3t, tce_ex, nwchem_kernel
+from repro.autotune import Autotuner
+from repro.gpusim.arch import GTX980, K20, C2050
+from repro.gpusim.cpu import CPUPerformanceModel
+from repro.gpusim.openacc import OpenACCModel
+
+quick = "--quick" in sys.argv
+EV = 60 if quick else 100
+POOL = 1200 if quick else 2500
+
+cpu = CPUPerformanceModel()
+t0 = time.time()
+
+def tune(wl, arch, **kw):
+    tuner = Autotuner(arch, max_evaluations=EV, batch_size=10, pool_size=POOL, seed=1, **kw)
+    return wl.tune(tuner)
+
+print("== Table II: individual contractions ==")
+paper2 = {
+  "eqn1": dict(speed=0.63, g980=1.99, k20=1.42, c2050=1.89, s980=3556),
+  "lg3":  dict(speed=23.74, g980=42.74, k20=41.52, c2050=42.47, s980=325),
+  "lg3t": dict(speed=22.87, g980=41.11, k20=38.38, c2050=34.99, s980=357),
+  "tce_ex": dict(speed=29.77, g980=42.72, k20=17.82, c2050=14.25, s980=277),
+}
+for mk in ["eqn1","lg3","lg3t","tce_ex"]:
+    wl = {"eqn1":eqn1,"lg3":lg3,"lg3t":lg3t,"tce_ex":tce_ex}[mk]()
+    seq = cpu.sequential_timing(wl.reference_program())
+    row = [mk, f"seq={seq.gflops:.2f}GF"]
+    for arch, key in [(GTX980,'g980'),(K20,'k20'),(C2050,'c2050')]:
+        r = tune(wl, arch)
+        dg = r.timing.device_gflops
+        row.append(f"{arch.generation}: {dg:.1f} (paper {paper2[mk][key]})" + (f" search={r.search_seconds:.0f}s(p{paper2[mk]['s980']})" if key=='g980' else ""))
+        if key == 'g980':
+            row.append(f"speedup={dg/seq.gflops:.2f} (paper {paper2[mk]['speed']})")
+    print("  " + " | ".join(row), f"[{time.time()-t0:.0f}s]")
+
+print("== Table IV: NWChem (GTX980) + OpenMP ==")
+paper4 = {"s1": (2.47,2.61,16.14), "d1": (3.90,25.29,115.37), "d2": (5.60,14.90,50.00)}
+for fam in ["s1","d1","d2"]:
+    wl = nwchem_kernel(fam, 1)
+    seq = cpu.sequential_timing(wl.program, tuned=True)
+    omp = cpu.openmp_timing(wl.program, tuned=True)
+    r = tune(wl, GTX980)
+    p = paper4[fam]
+    print(f"  {fam}: seq={seq.gflops:.2f}(p{p[0]}) omp={omp.gflops:.2f}(p{p[1]}) barracuda={r.timing.device_gflops:.1f}(p{p[2]})", f"[{time.time()-t0:.0f}s]")
+
+print("== Figure 3 sample: d1_1 on K20 (speedup over naive OpenACC) ==")
+wl = nwchem_kernel("d1", 1)
+r = tune(wl, K20)
+acc = OpenACCModel(r.search and __import__('repro.gpusim.perfmodel', fromlist=['GPUPerformanceModel']).GPUPerformanceModel(K20))
+naive = acc.naive_timing(wl.program)
+opt = acc.optimized_timing(wl.program, r.best_config)
+print(f"  naive={naive.device_gflops:.2f}GF opt={opt.device_gflops:.1f}GF barracuda={r.timing.device_gflops:.1f}GF -> speedups {opt.device_gflops/naive.device_gflops:.1f}x / {r.timing.device_gflops/naive.device_gflops:.1f}x (paper d1 range 20-70x)")
+print(f"total {time.time()-t0:.0f}s")

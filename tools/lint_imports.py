@@ -1,0 +1,60 @@
+"""Minimal unused-import checker (no external deps).
+
+Flags `import x` / `from m import x` names that never appear elsewhere in
+the module source. String-based fallback keeps it simple; __init__ files
+are exempt (re-exports).
+"""
+import ast
+import pathlib
+import sys
+
+
+def check(path: pathlib.Path) -> list[str]:
+    src = path.read_text()
+    tree = ast.parse(src)
+    imported: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = (alias.asname or alias.name).split(".")[0]
+                imported[name] = node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imported[alias.asname or alias.name] = node.lineno
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            pass
+    # names used in annotations-as-strings or docstrings don't count; also
+    # consider __all__ entries as usage.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            for name in list(imported):
+                if name in node.value.split():
+                    used.add(name)
+    problems = []
+    for name, lineno in imported.items():
+        if name not in used:
+            problems.append(f"{path}:{lineno}: unused import {name!r}")
+    return problems
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "src")
+    bad = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name == "__init__.py":
+            continue
+        bad.extend(check(path))
+    print("\n".join(bad) if bad else "clean")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
