@@ -16,7 +16,9 @@ Reproduces the Fig. 1 flow end to end:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.contraction import Contraction
 from repro.core.pipeline import compile_contraction
@@ -24,10 +26,13 @@ from repro.errors import SearchError
 from repro.gpusim.arch import GPUArch
 from repro.gpusim.calibration import DEFAULT_GPU_CAL, GPUCalibration
 from repro.gpusim.perfmodel import GPUPerformanceModel, ProgramTiming
-from repro.surf.evaluator import ConfigurationEvaluator
+from repro.surf.cache import CachedEvaluator, EvaluationCache
+from repro.surf.evaluator import BatchEvaluator, ConfigurationEvaluator
 from repro.surf.exhaustive import ExhaustiveSearch
+from repro.surf.parallel import ParallelBatchEvaluator
 from repro.surf.random_search import RandomSearch
 from repro.surf.search import SearchResult, SURFSearch
+from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.decision import decide_search_space
 from repro.tcr.program import TCRProgram
 from repro.tcr.space import ProgramConfig, TuningSpace
@@ -71,6 +76,15 @@ class TuneResult:
         )
 
 
+def _retag_variant(config: ProgramConfig, variant_index: int) -> ProgramConfig:
+    """Rewrite a sub-run config's variant index to the true OCTOPI index."""
+    return ProgramConfig(
+        variant_index=variant_index,
+        kernels=config.kernels,
+        global_id=config.global_id,
+    )
+
+
 def _make_searcher(kind: str, batch_size: int, max_evaluations: int, seed: int):
     if kind == "surf":
         return SURFSearch(
@@ -103,6 +117,25 @@ class Autotuner:
         Optional cap on OCTOPI variant enumeration.
     seed:
         Master seed: pool sampling, surrogate, measurement noise.
+    batch_parallelism:
+        Concurrent lanes of the simulated tuning rig — affects only the
+        simulated wall-clock accounting (Table II's "Search"), never the
+        objective values.
+    cache:
+        Evaluation memoization.  ``True`` keeps an in-memory store shared
+        by every ``tune_*`` call on this instance; a path string enables
+        the persistent JSON-lines store as well.  ``None`` (default)
+        consults the ``REPRO_EVAL_CACHE`` environment variable (a path;
+        empty/unset = off), so batch drivers can switch it on fleet-wide.
+    workers:
+        Fan ``evaluate_batch`` out over this many worker threads
+        (``parallel_executor="process"`` for processes).  Results are
+        bitwise-identical to serial runs; ``None`` consults
+        ``REPRO_EVAL_WORKERS``.
+    telemetry:
+        Emit per-batch :class:`~repro.surf.telemetry.SearchTelemetry`
+        records on every ``SearchResult`` (on by default; costs nothing
+        measurable and never affects search decisions).
     """
 
     def __init__(
@@ -118,6 +151,11 @@ class Autotuner:
         noisy: bool = True,
         include_transfer: bool = True,
         per_variant: bool = False,
+        batch_parallelism: int = 1,
+        cache: bool | str | Path | None = None,
+        workers: int | None = None,
+        telemetry: bool = True,
+        parallel_executor: str = "thread",
     ) -> None:
         """``per_variant=True`` reproduces the paper's OCTOPI flow for
         multi-variant contractions: each algebraic version is autotuned
@@ -137,6 +175,45 @@ class Autotuner:
         self.noisy = noisy
         self.include_transfer = include_transfer
         self.per_variant = per_variant
+        self.batch_parallelism = max(1, batch_parallelism)
+        if cache is None:
+            cache = os.environ.get("REPRO_EVAL_CACHE") or False
+        self.cache_spec: bool | str | Path = cache
+        if workers is None:
+            workers = int(os.environ.get("REPRO_EVAL_WORKERS", "1") or 1)
+        self.workers = max(1, workers)
+        self.telemetry = telemetry
+        self.parallel_executor = parallel_executor
+        self._cache_store: EvaluationCache | None = None
+
+    # ------------------------------------------------------------------
+    def _evaluation_cache(self) -> EvaluationCache | None:
+        """The instance-wide cache store (shared across tune_* calls)."""
+        if not self.cache_spec:
+            return None
+        if self._cache_store is None:
+            path = None if self.cache_spec is True else self.cache_spec
+            self._cache_store = EvaluationCache(path)
+        return self._cache_store
+
+    def _build_evaluator(self, programs: list[TCRProgram]) -> BatchEvaluator:
+        """Stack the evaluation engine: model -> cache -> parallel fan-out."""
+        evaluator: BatchEvaluator = ConfigurationEvaluator(
+            programs,
+            self.model,
+            seed=self.seed,
+            noisy=self.noisy,
+            include_transfer=self.include_transfer,
+            batch_parallelism=self.batch_parallelism,
+        )
+        store = self._evaluation_cache()
+        if store is not None:
+            evaluator = CachedEvaluator(evaluator, store)
+        if self.workers > 1:
+            evaluator = ParallelBatchEvaluator(
+                evaluator, workers=self.workers, executor=self.parallel_executor
+            )
+        return evaluator
 
     # ------------------------------------------------------------------
     def tune_contraction(self, contraction: Contraction) -> TuneResult:
@@ -165,16 +242,10 @@ class Autotuner:
         pool = tuning_space.sample_pool(
             min(self.pool_size, tuning_space.size()), rng
         )
-        # Wall-clock accounting is sequential (batch_parallelism=1): the
-        # paper's ~4 s/variant search times for Lg3t imply one rig timing one
-        # variant at a time, with batching used for model refresh cadence.
-        evaluator = ConfigurationEvaluator(
-            programs,
-            self.model,
-            seed=self.seed,
-            noisy=self.noisy,
-            include_transfer=self.include_transfer,
-        )
+        # Wall-clock accounting defaults to sequential (batch_parallelism=1):
+        # the paper's ~4 s/variant search times for Lg3t imply one rig timing
+        # one variant at a time, with batching used for model refresh cadence.
+        evaluator = self._build_evaluator(programs)
         searcher = _make_searcher(
             self.searcher_kind, self.batch_size, self.max_evaluations, self.seed
         )
@@ -182,7 +253,10 @@ class Autotuner:
             pool,
             evaluator.evaluate_batch,
             wall_seconds=lambda: evaluator.simulated_wall_seconds,
+            telemetry=SearchTelemetry(counters=evaluator.counters),
         )
+        if not self.telemetry:
+            result.telemetry = None
         best = result.best_config
         best_program = programs[best.variant_index]
         timing = self.model.program_timing(best_program, best)
@@ -203,12 +277,21 @@ class Autotuner:
         results: list[TuneResult] = []
         for i, program in enumerate(programs):
             sub = self._tune(f"{name}_v{i}", [program])
-            # Re-tag the winning config with the real variant index so the
-            # caller can recover which algebraic version won.
-            cfg = ProgramConfig(
-                variant_index=i,
-                kernels=sub.best_config.kernels,
-                global_id=sub.best_config.global_id,
+            # Re-tag the winning config — and every history entry — with the
+            # real variant index: each sub-run sees its program as variant 0,
+            # so without re-tagging the merged history would attribute every
+            # evaluation to the first variant.
+            cfg = _retag_variant(sub.best_config, i)
+            search = SearchResult(
+                searcher=sub.search.searcher,
+                best_config=cfg,
+                best_objective=sub.search.best_objective,
+                history=[
+                    (_retag_variant(c, i), y) for c, y in sub.search.history
+                ],
+                evaluations=sub.search.evaluations,
+                simulated_wall_seconds=sub.search.simulated_wall_seconds,
+                telemetry=sub.search.telemetry,
             )
             results.append(
                 TuneResult(
@@ -217,7 +300,7 @@ class Autotuner:
                     best_config=cfg,
                     best_program=program,
                     timing=sub.timing,
-                    search=sub.search,
+                    search=search,
                     space_size=sub.space_size,
                     pool_size=sub.pool_size,
                     variant_count=1,
@@ -233,6 +316,9 @@ class Autotuner:
             history=[h for r in results for h in r.search.history],
             evaluations=total_evals,
             simulated_wall_seconds=total_wall,
+            telemetry=SearchTelemetry.merged(r.search.telemetry for r in results)
+            if self.telemetry
+            else None,
         )
         return TuneResult(
             name=name,

@@ -45,6 +45,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-variant", action="store_true",
         help="autotune each OCTOPI variant separately (the paper's flow)",
     )
+    tune.add_argument(
+        "--workers", type=int, default=None,
+        help="evaluate batches over N worker threads (default: serial or "
+        "$REPRO_EVAL_WORKERS); results are identical to serial",
+    )
+    tune.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="JSON-lines evaluation cache ('mem' for in-memory only; "
+        "default: $REPRO_EVAL_CACHE or off)",
+    )
+    tune.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="dump per-batch search telemetry as JSON to PATH ('-' for stdout)",
+    )
 
     variants = sub.add_parser("variants", help="show OCTOPI variants for a DSL input")
     variants.add_argument("dsl", help="DSL file path or inline statement")
@@ -99,6 +113,7 @@ def _load_workload(spec: str):
 
 def _cmd_tune(args: argparse.Namespace) -> int:
     workload = _load_workload(args.workload)
+    cache = True if args.cache == "mem" else args.cache
     tuner = Autotuner(
         gpu_by_name(args.arch),
         searcher=args.searcher,
@@ -107,11 +122,29 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         pool_size=args.pool,
         seed=args.seed,
         per_variant=args.per_variant,
+        cache=cache,
+        workers=args.workers,
     )
     result = workload.tune(tuner)
     print(result.summary())
     print(f"device rate (kernels only): {result.timing.device_gflops:.2f} GFlops")
     print(f"best configuration: {result.best_config.describe()}")
+    if result.search.telemetry is not None:
+        totals = result.search.telemetry.totals()
+        print(
+            f"telemetry: {totals['batches']} batches, "
+            f"{totals['evaluations']} model evals, "
+            f"{totals['cache_hits']} cache hits, "
+            f"surrogate fit {totals['fit_seconds']:.2f}s"
+        )
+        if args.telemetry:
+            payload = result.search.telemetry.to_json()
+            if args.telemetry == "-":
+                print(payload)
+            else:
+                with open(args.telemetry, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+                print(f"telemetry written to {args.telemetry}")
     print("TCR program of the winning variant:")
     print(result.best_program.to_text())
     return 0

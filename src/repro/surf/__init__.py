@@ -16,7 +16,10 @@ from repro.surf.forest import ExtraTreesRegressor
 from repro.surf.search import SURFSearch, SearchResult
 from repro.surf.random_search import RandomSearch
 from repro.surf.exhaustive import ExhaustiveSearch
-from repro.surf.evaluator import ConfigurationEvaluator
+from repro.surf.evaluator import BatchEvaluator, ConfigurationEvaluator, EvalOutcome
+from repro.surf.cache import CachedEvaluator, EvaluationCache
+from repro.surf.parallel import ParallelBatchEvaluator
+from repro.surf.telemetry import BatchRecord, SearchTelemetry
 
 __all__ = [
     "FeatureBinarizer",
@@ -26,5 +29,12 @@ __all__ = [
     "SearchResult",
     "RandomSearch",
     "ExhaustiveSearch",
+    "BatchEvaluator",
     "ConfigurationEvaluator",
+    "EvalOutcome",
+    "CachedEvaluator",
+    "EvaluationCache",
+    "ParallelBatchEvaluator",
+    "BatchRecord",
+    "SearchTelemetry",
 ]

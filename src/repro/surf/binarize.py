@@ -8,6 +8,15 @@ string-valued features become one-hot indicator columns; numeric features
 
 The binarizer is fit on the *pool* (so every category is known up front)
 and then applied to evaluated/unevaluated subsets consistently.
+
+Pools may be *heterogeneous*: a union tuning space mixes OCTOPI variants
+with different kernel counts, so ``ProgramConfig.features()`` emits
+``k{i}_*`` keys for kernel slots some variants simply do not have.  Both
+encoders work over the union of keys and treat an absent key as the
+sentinel category :data:`ABSENT` — a missing categorical key lights a
+dedicated one-hot column, and a missing numeric key zeroes the ordinal
+column and lights a presence-indicator column, so the surrogate can tell
+"kernel 2 has unroll 0" apart from "variant has no kernel 2".
 """
 
 from __future__ import annotations
@@ -18,7 +27,11 @@ import numpy as np
 
 from repro.errors import SearchError
 
-__all__ = ["FeatureBinarizer", "OrdinalEncoder"]
+__all__ = ["FeatureBinarizer", "OrdinalEncoder", "ABSENT"]
+
+#: Sentinel category for feature keys a configuration does not define
+#: (e.g. ``k2_tx`` for a two-kernel variant in a mixed-variant pool).
+ABSENT = "<absent>"
 
 
 class FeatureBinarizer:
@@ -26,6 +39,7 @@ class FeatureBinarizer:
 
     def __init__(self) -> None:
         self._columns: list[tuple[str, str | None]] | None = None
+        self._keys: list[str] | None = None
 
     @property
     def columns(self) -> list[tuple[str, str | None]]:
@@ -37,15 +51,14 @@ class FeatureBinarizer:
     def fit(self, feature_dicts: Sequence[dict[str, object]]) -> "FeatureBinarizer":
         if not feature_dicts:
             raise SearchError("cannot fit a binarizer on an empty pool")
-        keys = sorted(feature_dicts[0])
+        keys = sorted(set().union(*feature_dicts))
         numeric: set[str] = set()
         categories: dict[str, set[str]] = {}
         for feats in feature_dicts:
-            if sorted(feats) != keys:
-                raise SearchError(
-                    f"inconsistent feature keys: {sorted(feats)} vs {keys}"
-                )
             for key in keys:
+                if key not in feats:
+                    categories.setdefault(key, set()).add(ABSENT)
+                    continue
                 value = feats[key]
                 if isinstance(value, bool) or not isinstance(value, (int, float, str)):
                     raise SearchError(
@@ -55,7 +68,10 @@ class FeatureBinarizer:
                     categories.setdefault(key, set()).add(value)
                 else:
                     numeric.add(key)
-        overlap = numeric & set(categories)
+        overlap = {
+            key for key in numeric & set(categories)
+            if categories[key] != {ABSENT}
+        }
         if overlap:
             raise SearchError(
                 f"features {sorted(overlap)} mix numeric and string values"
@@ -64,10 +80,13 @@ class FeatureBinarizer:
         for key in keys:
             if key in numeric:
                 columns.append((key, None))
+                if key in categories:  # numeric, but absent for some variants
+                    columns.append((key, ABSENT))
             else:
                 for cat in sorted(categories[key]):
                     columns.append((key, cat))
         self._columns = columns
+        self._keys = keys
         return self
 
     def transform(self, feature_dicts: Sequence[dict[str, object]]) -> np.ndarray:
@@ -78,6 +97,7 @@ class FeatureBinarizer:
         col_of: dict[tuple[str, str | None], int] = {
             c: i for i, c in enumerate(self._columns)
         }
+        fit_keys = self._keys or []
         for row, feats in enumerate(feature_dicts):
             for key, value in feats.items():
                 if isinstance(value, str):
@@ -91,6 +111,11 @@ class FeatureBinarizer:
                             f"numeric feature {key!r} was not seen during fit"
                         )
                     out[row, col] = float(value)
+            for key in fit_keys:
+                if key not in feats:
+                    col = col_of.get((key, ABSENT))
+                    if col is not None:
+                        out[row, col] = 1.0
         return out
 
     def fit_transform(self, feature_dicts: Sequence[dict[str, object]]) -> np.ndarray:
@@ -114,7 +139,7 @@ class OrdinalEncoder:
     def fit(self, feature_dicts: Sequence[dict[str, object]]) -> "OrdinalEncoder":
         if not feature_dicts:
             raise SearchError("cannot fit an encoder on an empty pool")
-        self._keys = sorted(feature_dicts[0])
+        self._keys = sorted(set().union(*feature_dicts))
         categories: dict[str, set[str]] = {}
         for feats in feature_dicts:
             for key, value in feats.items():
@@ -132,6 +157,9 @@ class OrdinalEncoder:
         out = np.zeros((len(feature_dicts), len(self._keys)))
         for row, feats in enumerate(feature_dicts):
             for col, key in enumerate(self._keys):
+                if key not in feats:  # absent kernel slot (mixed variants)
+                    out[row, col] = -2.0
+                    continue
                 value = feats[key]
                 if isinstance(value, str):
                     out[row, col] = float(self._codes.get(key, {}).get(value, -1))

@@ -1,0 +1,158 @@
+"""Persistent memoization of configuration evaluations.
+
+Autotuning re-scores identical points constantly: per-variant sweeps visit
+the same kernel configurations the union search already paid for, repeated
+tuner runs re-evaluate everything, and the benchmark suite regenerates the
+same tables over and over.  Kernel Tuner solves this with a persistent
+cache of evaluated configurations keyed on the tunable parameters; this
+module is the same idea for the Barracuda evaluation engine.
+
+Keys are ``(arch name, context fingerprint, program fingerprint,
+config.describe())``.  The context fingerprint hashes everything else the
+objective depends on — the calibration constants plus the evaluator's
+``seed`` / ``noisy`` / ``include_transfer`` knobs — so a changed
+calibration or noise seed can never serve stale values.  The program
+fingerprint hashes the variant's TCR text, so structurally identical
+programs share entries regardless of which run produced them.
+
+The on-disk format is JSON lines (one entry per line, append-only), which
+survives concurrent appends from independent runs and — because loading
+skips lines that fail to parse — a crash mid-append truncating the last
+line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.surf.evaluator import BatchEvaluator, ConfigurationEvaluator, EvalOutcome
+from repro.tcr.space import ProgramConfig
+from repro.util.rng import stable_hash
+
+__all__ = ["EvaluationCache", "CachedEvaluator"]
+
+#: Cache-entry keys: (arch, context fingerprint, program fingerprint, config).
+CacheKey = tuple[str, str, str, str]
+
+
+class EvaluationCache:
+    """In-memory map of evaluated configurations, optionally JSONL-backed.
+
+    Parameters
+    ----------
+    path:
+        Optional JSON-lines store.  Existing entries are loaded eagerly
+        (undecodable lines are counted in ``corrupt_lines`` and skipped);
+        new entries are appended as they are recorded.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._memory: dict[CacheKey, tuple[float, float]] = {}
+        self.path = Path(path) if path is not None else None
+        self.corrupt_lines = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        with self.path.open("r", encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = tuple(entry["key"])
+                    value = float(entry["value"])
+                    wall = float(entry["wall"])
+                    if len(key) != 4 or not all(isinstance(p, str) for p in key):
+                        raise ValueError("malformed key")
+                except (ValueError, KeyError, TypeError):
+                    self.corrupt_lines += 1
+                    continue
+                self._memory[key] = (value, wall)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._memory
+
+    def get(self, key: CacheKey) -> tuple[float, float] | None:
+        """Return ``(value, wall)`` for ``key``, or None on a miss."""
+        return self._memory.get(key)
+
+    def put(self, key: CacheKey, value: float, wall: float) -> None:
+        """Record one evaluation; idempotent (first write wins)."""
+        if key in self._memory:
+            return
+        self._memory[key] = (value, wall)
+        if self.path is not None:
+            entry = {"key": list(key), "value": value, "wall": wall}
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry) + "\n")
+
+
+def _context_fingerprint(inner: ConfigurationEvaluator) -> str:
+    """Hash of everything besides (program, config) the objective sees."""
+    cal = inner.model.cal
+    return format(
+        stable_hash(
+            "eval-context",
+            {name: getattr(cal, name) for name in cal.__dataclass_fields__},
+            inner.seed,
+            inner.noisy,
+            inner.include_transfer,
+        ),
+        "016x",
+    )
+
+
+class CachedEvaluator(BatchEvaluator):
+    """Memoizing wrapper around a :class:`ConfigurationEvaluator`.
+
+    Hits skip the model entirely (``evaluation_count`` counts only real
+    model evaluations) but still charge the *stored* wall cost to the
+    simulated search clock — the cache speeds up the reproduction, not the
+    imaginary rig it models, so Table II's "Search" column is unchanged by
+    enabling it.
+    """
+
+    def __init__(
+        self, inner: ConfigurationEvaluator, cache: EvaluationCache | None = None
+    ) -> None:
+        self.inner = inner
+        self.cache = cache if cache is not None else EvaluationCache()
+        self._arch_name = inner.model.arch.name
+        self._context = _context_fingerprint(inner)
+        self._program_fps: dict[int, str] = {}
+        self.evaluation_count = 0
+        self.cache_hits = 0
+        self.simulated_wall_seconds = 0.0
+
+    @property
+    def batch_lanes(self) -> int:
+        return self.inner.batch_lanes
+
+    def key_for(self, config: ProgramConfig) -> CacheKey:
+        fp = self._program_fps.get(config.variant_index)
+        if fp is None:
+            program = self.inner.program_for(config)
+            fp = format(stable_hash("program", program.to_text()), "016x")
+            self._program_fps[config.variant_index] = fp
+        return (self._arch_name, self._context, fp, config.describe())
+
+    def evaluate_one(self, config: ProgramConfig) -> EvalOutcome:
+        hit = self.cache.get(self.key_for(config))
+        if hit is not None:
+            value, wall = hit
+            return EvalOutcome(config=config, value=value, wall=wall, cached=True)
+        return self.inner.evaluate_one(config)
+
+    def record_outcome(self, outcome: EvalOutcome) -> None:
+        # Insertion happens here, on the driver thread, rather than inside
+        # evaluate_one: that keeps evaluate_one pure (parallel- and
+        # process-safe) and serializes JSONL appends without a lock.
+        if not outcome.cached:
+            self.cache.put(self.key_for(outcome.config), outcome.value, outcome.wall)

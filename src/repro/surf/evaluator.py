@@ -7,11 +7,23 @@ for the modeled time (plus measurement noise).  The evaluator also keeps
 the books the paper reports: how many evaluations were spent and how much
 *wall-clock search time* they would have cost on the real toolchain
 (Table II's "Search" column).
+
+The evaluation engine is a small stack of composable layers, all sharing
+the :class:`BatchEvaluator` protocol (``evaluate_one`` is pure; batch
+bookkeeping happens once per batch on the driver thread):
+
+``ConfigurationEvaluator``
+    The base layer: scores one point on the performance model.
+``CachedEvaluator`` (:mod:`repro.surf.cache`)
+    Memoizes scores across runs, optionally persisted to a JSONL store.
+``ParallelBatchEvaluator`` (:mod:`repro.surf.parallel`)
+    Fans ``evaluate_batch`` out over a ``concurrent.futures`` pool.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.gpusim.perfmodel import GPUPerformanceModel
@@ -19,7 +31,12 @@ from repro.tcr.program import TCRProgram
 from repro.tcr.space import ProgramConfig
 from repro.util.rng import spawn_rng
 
-__all__ = ["ConfigurationEvaluator", "PENALTY_SECONDS"]
+__all__ = [
+    "ConfigurationEvaluator",
+    "BatchEvaluator",
+    "EvalOutcome",
+    "PENALTY_SECONDS",
+]
 
 #: Objective assigned to configurations the backend cannot build (e.g. a
 #: block too large for the device).  Far above any real kernel time so the
@@ -27,7 +44,91 @@ __all__ = ["ConfigurationEvaluator", "PENALTY_SECONDS"]
 PENALTY_SECONDS = 10.0
 
 
-class ConfigurationEvaluator:
+@dataclass(frozen=True)
+class EvalOutcome:
+    """Result of scoring one configuration.
+
+    ``wall`` is the simulated wall-clock cost of *performing* the
+    evaluation on the real rig (compile + repetitions); ``cached`` marks
+    outcomes served from a :class:`~repro.surf.cache.CachedEvaluator`
+    without touching the model.
+    """
+
+    config: ProgramConfig
+    value: float
+    wall: float
+    cached: bool = False
+
+
+class BatchEvaluator:
+    """Shared bookkeeping for the evaluator stack.
+
+    Subclasses implement :meth:`evaluate_one` (a *pure* scoring function —
+    no counter mutation, so it is safe to call from worker threads or
+    processes) and may override :meth:`_run_batch` to change how a batch is
+    executed and :meth:`record_outcome` to absorb results (e.g. into a
+    cache).  ``evaluate_batch`` then does all bookkeeping on the driver
+    thread: counters, cache insertion, and batch-aware wall accounting.
+
+    Wall accounting models the paper's rig evaluating each SURF batch "in
+    parallel" over ``batch_lanes`` concurrent lanes: outcomes are
+    list-scheduled onto the least-loaded lane in order, and the batch costs
+    the *longest lane*, not the sum (and not sum/parallelism — lanes cannot
+    split a single compile+measure cycle).
+    """
+
+    evaluation_count: int = 0
+    cache_hits: int = 0
+    simulated_wall_seconds: float = 0.0
+
+    @property
+    def batch_lanes(self) -> int:
+        """How many evaluations the rig can run concurrently."""
+        return 1
+
+    def evaluate_one(self, config: ProgramConfig) -> EvalOutcome:
+        raise NotImplementedError
+
+    def _run_batch(self, configs: Sequence[ProgramConfig]) -> list[EvalOutcome]:
+        return [self.evaluate_one(c) for c in configs]
+
+    def record_outcome(self, outcome: EvalOutcome) -> None:
+        """Post-batch hook, called in batch order on the driver thread."""
+
+    def evaluate_batch(self, configs: Sequence[ProgramConfig]) -> list[float]:
+        """Algorithm 2's ``Evaluate_Parallel``: score a batch of points."""
+        outcomes = self._run_batch(configs)
+        for outcome in outcomes:
+            self.record_outcome(outcome)
+        self._tally(outcomes)
+        return [o.value for o in outcomes]
+
+    def evaluate(self, config: ProgramConfig) -> float:
+        """Objective for one configuration (seconds; penalty when illegal)."""
+        return self.evaluate_batch([config])[0]
+
+    def _tally(self, outcomes: Sequence[EvalOutcome]) -> None:
+        if not outcomes:
+            return
+        misses = sum(1 for o in outcomes if not o.cached)
+        self.evaluation_count += misses
+        self.cache_hits += len(outcomes) - misses
+        lanes = [0.0] * min(self.batch_lanes, len(outcomes))
+        for o in outcomes:
+            slot = min(range(len(lanes)), key=lanes.__getitem__)
+            lanes[slot] += o.wall
+        self.simulated_wall_seconds += max(lanes)
+
+    def counters(self) -> dict[str, float]:
+        """Monotone counters for telemetry deltas (see ``SearchTelemetry``)."""
+        return {
+            "evaluations": self.evaluation_count,
+            "cache_hits": self.cache_hits,
+            "simulated_wall_seconds": self.simulated_wall_seconds,
+        }
+
+
+class ConfigurationEvaluator(BatchEvaluator):
     """Maps :class:`ProgramConfig` points to objective values (seconds).
 
     Parameters
@@ -65,14 +166,18 @@ class ConfigurationEvaluator:
         self.include_transfer = include_transfer
         self.batch_parallelism = max(1, batch_parallelism)
         self.evaluation_count = 0
+        self.cache_hits = 0
         self.simulated_wall_seconds = 0.0
+
+    @property
+    def batch_lanes(self) -> int:
+        return self.batch_parallelism
 
     def program_for(self, config: ProgramConfig) -> TCRProgram:
         return self.programs[config.variant_index]
 
-    def evaluate(self, config: ProgramConfig) -> float:
-        """Objective for one configuration (seconds; penalty when illegal)."""
-        self.evaluation_count += 1
+    def evaluate_one(self, config: ProgramConfig) -> EvalOutcome:
+        """Score one configuration; pure (no evaluator state is touched)."""
         program = self.program_for(config)
         try:
             rng = (
@@ -88,9 +193,4 @@ class ConfigurationEvaluator:
         except ConfigurationError:
             value = PENALTY_SECONDS
             wall = self.model.cal.compile_seconds  # it failed at build time
-        self.simulated_wall_seconds += wall / self.batch_parallelism
-        return value
-
-    def evaluate_batch(self, configs: Sequence[ProgramConfig]) -> list[float]:
-        """Algorithm 2's ``Evaluate_Parallel``: score a batch of points."""
-        return [self.evaluate(c) for c in configs]
+        return EvalOutcome(config=config, value=value, wall=wall)

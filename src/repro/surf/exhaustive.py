@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import SearchError
 from repro.surf.search import SearchResult
+from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.space import ProgramConfig
 
 __all__ = ["ExhaustiveSearch"]
@@ -36,15 +37,22 @@ class ExhaustiveSearch:
         pool: Sequence[ProgramConfig],
         evaluate_batch: Callable[[Sequence[ProgramConfig]], list[float]],
         wall_seconds: Callable[[], float] | None = None,
+        telemetry: SearchTelemetry | None = None,
     ) -> SearchResult:
         if not pool:
             raise SearchError("configuration pool is empty")
+        if telemetry is None:
+            telemetry = SearchTelemetry()
         stop = len(pool) if self.limit is None else min(self.limit, len(pool))
         history: list[tuple[ProgramConfig, float]] = []
         for start in range(0, stop, self.batch_size):
             configs = list(pool[start : min(start + self.batch_size, stop)])
             for cfg, y in zip(configs, evaluate_batch(configs)):
                 history.append((cfg, float(y)))
+            telemetry.record_batch(
+                batch_size=len(configs),
+                best_so_far=min(y for _c, y in history),
+            )
         ys = np.array([y for _c, y in history])
         best_i = int(np.argmin(ys))
         return SearchResult(
@@ -54,4 +62,5 @@ class ExhaustiveSearch:
             history=history,
             evaluations=len(history),
             simulated_wall_seconds=wall_seconds() if wall_seconds else 0.0,
+            telemetry=telemetry,
         )

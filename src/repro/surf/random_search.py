@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import SearchError
 from repro.surf.search import SearchResult
+from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.space import ProgramConfig
 from repro.util.rng import spawn_rng
 
@@ -38,9 +39,12 @@ class RandomSearch:
         pool: Sequence[ProgramConfig],
         evaluate_batch: Callable[[Sequence[ProgramConfig]], list[float]],
         wall_seconds: Callable[[], float] | None = None,
+        telemetry: SearchTelemetry | None = None,
     ) -> SearchResult:
         if not pool:
             raise SearchError("configuration pool is empty")
+        if telemetry is None:
+            telemetry = SearchTelemetry()
         rng = spawn_rng(self.seed, "random-driver")
         nmax = min(self.max_evaluations, len(pool))
         chosen = rng.choice(len(pool), size=nmax, replace=False).tolist()
@@ -50,6 +54,10 @@ class RandomSearch:
             configs = [pool[i] for i in ids]
             for cfg, y in zip(configs, evaluate_batch(configs)):
                 history.append((cfg, float(y)))
+            telemetry.record_batch(
+                batch_size=len(configs),
+                best_so_far=min(y for _c, y in history),
+            )
         ys = np.array([y for _c, y in history])
         best_i = int(np.argmin(ys))
         return SearchResult(
@@ -59,4 +67,5 @@ class RandomSearch:
             history=history,
             evaluations=len(history),
             simulated_wall_seconds=wall_seconds() if wall_seconds else 0.0,
+            telemetry=telemetry,
         )

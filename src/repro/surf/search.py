@@ -22,6 +22,7 @@ seeded substreams.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -30,6 +31,7 @@ import numpy as np
 from repro.errors import SearchError
 from repro.surf.binarize import FeatureBinarizer, OrdinalEncoder
 from repro.surf.forest import ExtraTreesRegressor
+from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.space import ProgramConfig
 from repro.util.rng import spawn_rng
 
@@ -46,6 +48,8 @@ class SearchResult:
     history: list[tuple[ProgramConfig, float]] = field(repr=False, default_factory=list)
     evaluations: int = 0
     simulated_wall_seconds: float = 0.0
+    #: per-batch event records of the run (None if telemetry was disabled)
+    telemetry: SearchTelemetry | None = field(repr=False, default=None)
 
     def best_so_far(self) -> list[float]:
         """Running minimum of the objective — the convergence curve."""
@@ -111,10 +115,13 @@ class SURFSearch:
         pool: Sequence[ProgramConfig],
         evaluate_batch: Callable[[Sequence[ProgramConfig]], list[float]],
         wall_seconds: Callable[[], float] | None = None,
+        telemetry: SearchTelemetry | None = None,
     ) -> SearchResult:
         """Run Algorithm 2 over ``pool`` with the given batch evaluator."""
         if not pool:
             raise SearchError("configuration pool is empty")
+        if telemetry is None:
+            telemetry = SearchTelemetry()
         rng = spawn_rng(self.seed, "surf-driver")
         encoder = FeatureBinarizer() if self.binarize else OrdinalEncoder()
         X_all = encoder.fit_transform([c.features() for c in pool])
@@ -146,13 +153,21 @@ class SURFSearch:
             y = np.array(y_out)
             return np.log(np.maximum(y, 1e-12)) if self.log_objective else y
 
+        def refit(model) -> float:
+            start = time.perf_counter()
+            model.fit(np.stack(X_out), targets())
+            return time.perf_counter() - start
+
         run_batch(batch_ids)
         model = ExtraTreesRegressor(
             n_estimators=self.n_estimators,
             max_depth=self.max_depth,
             seed=self.seed,
         )
-        model.fit(np.stack(X_out), targets())
+        fit_s = refit(model)
+        telemetry.record_batch(
+            batch_size=len(batch_ids), best_so_far=min(y_out), fit_seconds=fit_s
+        )
 
         while len(history) < nmax and remaining:
             bs = min(self.batch_size, nmax - len(history), len(remaining))
@@ -169,7 +184,10 @@ class SURFSearch:
                 batch_ids.extend(leftovers[i] for i in sorted(pick.tolist()))
             remaining = [i for i in remaining if i not in set(batch_ids)]
             run_batch(batch_ids)
-            model.fit(np.stack(X_out), targets())
+            fit_s = refit(model)
+            telemetry.record_batch(
+                batch_size=len(batch_ids), best_so_far=min(y_out), fit_seconds=fit_s
+            )
 
         best_i = int(np.argmin(y_out))
         return SearchResult(
@@ -179,4 +197,5 @@ class SURFSearch:
             history=history,
             evaluations=len(history),
             simulated_wall_seconds=wall_seconds() if wall_seconds else 0.0,
+            telemetry=telemetry,
         )

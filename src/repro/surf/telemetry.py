@@ -1,0 +1,139 @@
+"""Search observability: per-batch event records for every searcher.
+
+Each search run (SURF, random, exhaustive) emits one :class:`BatchRecord`
+per evaluated batch — how many points were scored, how many came from the
+evaluation cache, the best objective seen so far, how long the surrogate
+refit took, and the simulated wall clock.  :class:`SearchTelemetry`
+collects them, computes counter deltas against the evaluator stack (via
+its ``counters()`` provider), and serializes to JSON for the CLI and the
+benchmark harness.
+
+Telemetry is pure observability: it never influences search decisions, so
+enabling it cannot perturb reproducibility.  (Surrogate fit times are real
+wall-clock measurements of this process and naturally vary run to run;
+everything else in a record is deterministic.)
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterable
+from dataclasses import asdict, dataclass
+
+__all__ = ["BatchRecord", "SearchTelemetry"]
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One evaluated batch, as seen from the search driver."""
+
+    batch_index: int
+    batch_size: int
+    #: actual model evaluations spent on this batch (misses only)
+    evaluations: int
+    #: points served from the evaluation cache
+    cache_hits: int
+    #: best objective (seconds) over everything evaluated so far
+    best_so_far: float
+    #: real wall-clock seconds spent (re)fitting the surrogate, 0 for
+    #: model-free searchers
+    fit_seconds: float
+    #: cumulative simulated rig wall-clock after this batch
+    simulated_wall_seconds: float
+
+
+class SearchTelemetry:
+    """Collects :class:`BatchRecord` events during one search run.
+
+    Parameters
+    ----------
+    counters:
+        Optional provider of monotone counters (the evaluator stack's
+        ``counters()``).  When given, per-batch evaluation/hit counts are
+        computed as deltas between snapshots; without it, every scored
+        point is assumed to be a fresh model evaluation.
+    """
+
+    def __init__(self, counters: Callable[[], dict[str, float]] | None = None) -> None:
+        self._counters = counters
+        self._last = self._snapshot()
+        self.records: list[BatchRecord] = []
+
+    def _snapshot(self) -> dict[str, float]:
+        if self._counters is None:
+            return {}
+        return dict(self._counters())
+
+    def record_batch(
+        self, batch_size: int, best_so_far: float, fit_seconds: float = 0.0
+    ) -> BatchRecord:
+        """Append the record for the batch that just finished evaluating."""
+        now = self._snapshot()
+        if now:
+            evals = int(now.get("evaluations", 0) - self._last.get("evaluations", 0))
+            hits = int(now.get("cache_hits", 0) - self._last.get("cache_hits", 0))
+            wall = float(now.get("simulated_wall_seconds", 0.0))
+        else:
+            evals, hits, wall = batch_size, 0, 0.0
+        self._last = now
+        record = BatchRecord(
+            batch_index=len(self.records),
+            batch_size=batch_size,
+            evaluations=evals,
+            cache_hits=hits,
+            best_so_far=float(best_so_far),
+            fit_seconds=float(fit_seconds),
+            simulated_wall_seconds=wall,
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def totals(self) -> dict[str, float]:
+        """Aggregate view over the whole run."""
+        return {
+            "batches": len(self.records),
+            "points": sum(r.batch_size for r in self.records),
+            "evaluations": sum(r.evaluations for r in self.records),
+            "cache_hits": sum(r.cache_hits for r in self.records),
+            "fit_seconds": sum(r.fit_seconds for r in self.records),
+            "best_objective": min(
+                (r.best_so_far for r in self.records), default=float("inf")
+            ),
+            "simulated_wall_seconds": max(
+                (r.simulated_wall_seconds for r in self.records), default=0.0
+            ),
+        }
+
+    def as_dicts(self) -> list[dict[str, float]]:
+        return [asdict(r) for r in self.records]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(
+            {"totals": self.totals(), "batches": self.as_dicts()}, indent=indent
+        )
+
+    @classmethod
+    def merged(cls, parts: Iterable["SearchTelemetry | None"]) -> "SearchTelemetry":
+        """Concatenate sub-search telemetries (e.g. per-variant runs)."""
+        out = cls()
+        for part in parts:
+            if part is None:
+                continue
+            base_wall = max(
+                (r.simulated_wall_seconds for r in out.records), default=0.0
+            )
+            for record in part.records:
+                out.records.append(
+                    BatchRecord(
+                        batch_index=len(out.records),
+                        batch_size=record.batch_size,
+                        evaluations=record.evaluations,
+                        cache_hits=record.cache_hits,
+                        best_so_far=record.best_so_far,
+                        fit_seconds=record.fit_seconds,
+                        simulated_wall_seconds=base_wall
+                        + record.simulated_wall_seconds,
+                    )
+                )
+        return out

@@ -76,6 +76,28 @@ class TestTuneContraction:
             result.best_program.operations
         )
 
+    def test_union_space_with_mixed_kernel_counts(self, two_op_program):
+        # Regression: variants with different operation counts emit
+        # different k{i}_* feature keys; the union pool used to crash the
+        # binarizer with "inconsistent feature keys".
+        from repro.core.tensor import TensorRef
+        from repro.tcr.program import TCROperation, TCRProgram
+
+        single = TCRProgram(
+            name="single",
+            dims={"i": 4, "j": 4, "l": 4},
+            arrays={"A": ("i", "j"), "C": ("j", "l"), "Y": ("i", "l")},
+            operations=[
+                TCROperation(
+                    TensorRef("Y", ("i", "l")),
+                    (TensorRef("A", ("i", "j")), TensorRef("C", ("j", "l"))),
+                )
+            ],
+        )
+        result = _tuner().tune_programs("mixed", [two_op_program, single])
+        assert result.variant_count == 2
+        assert {c.variant_index for c, _y in result.search.history} == {0, 1}
+
     def test_searcher_choices(self, two_op_program):
         for kind in ("surf", "random", "exhaustive"):
             result = _tuner(searcher=kind).tune_program(two_op_program)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SearchError
-from repro.surf.binarize import FeatureBinarizer
+from repro.surf.binarize import ABSENT, FeatureBinarizer, OrdinalEncoder
 
 
 def dicts():
@@ -26,9 +26,14 @@ class TestFit:
         with pytest.raises(SearchError, match="empty"):
             FeatureBinarizer().fit([])
 
-    def test_inconsistent_keys_rejected(self):
-        with pytest.raises(SearchError, match="inconsistent"):
-            FeatureBinarizer().fit([{"a": "x"}, {"b": "y"}])
+    def test_heterogeneous_keys_pad_with_sentinel(self):
+        # Mixed-variant pools (different kernel counts) have differing key
+        # sets; absent keys become the ABSENT sentinel category.
+        b = FeatureBinarizer().fit([{"a": "x"}, {"b": "y"}])
+        assert ("a", "x") in b.columns
+        assert ("a", ABSENT) in b.columns
+        assert ("b", "y") in b.columns
+        assert ("b", ABSENT) in b.columns
 
     def test_mixed_types_rejected(self):
         with pytest.raises(SearchError, match="mix"):
@@ -75,6 +80,40 @@ class TestTransform:
     def test_fit_transform(self):
         X = FeatureBinarizer().fit_transform(dicts())
         assert X.shape == (3, 3)
+
+    def test_heterogeneous_rows_one_hot(self):
+        # A missing categorical key lights exactly its ABSENT column; a
+        # missing numeric key zeroes the ordinal column and lights the
+        # presence indicator.
+        b = FeatureBinarizer().fit(
+            [{"tx": "i", "unroll": 2}, {"tx": "j"}]
+        )
+        X = b.transform([{"tx": "i", "unroll": 2}, {"tx": "j"}])
+        cols = {c: n for n, c in enumerate(b.columns)}
+        np.testing.assert_array_equal(X[:, cols[("unroll", None)]], [2, 0])
+        np.testing.assert_array_equal(X[:, cols[("unroll", ABSENT)]], [0, 1])
+        np.testing.assert_array_equal(X[:, cols[("tx", "i")]], [1, 0])
+        np.testing.assert_array_equal(X[:, cols[("tx", "j")]], [0, 1])
+
+    def test_heterogeneous_kernel_counts_fit(self):
+        # The regression the fix targets: ProgramConfig.features() of
+        # variants with different kernel counts union-fit cleanly.
+        feats = [
+            {"variant": "0", "k0_tx": "i", "k0_unroll": 1,
+             "k1_tx": "j", "k1_unroll": 2},
+            {"variant": "1", "k0_tx": "j", "k0_unroll": 4},
+        ]
+        X = FeatureBinarizer().fit_transform(feats)
+        assert X.shape[0] == 2
+        assert np.isfinite(X).all()
+
+    def test_ordinal_encoder_heterogeneous_keys(self):
+        enc = OrdinalEncoder().fit([{"a": "x", "n": 3}, {"a": "y"}])
+        X = enc.transform([{"a": "x", "n": 3}, {"a": "y"}])
+        cols = sorted({"a", "n"})
+        n_col = cols.index("n")
+        assert X[0, n_col] == 3.0
+        assert X[1, n_col] == -2.0  # absent sentinel
 
     def test_program_config_features_binarize(self, two_op_program):
         from repro.tcr.decision import decide_search_space

@@ -167,7 +167,10 @@ class TestEvaluator:
         ev.evaluate_batch(pool[:10])
         assert ev.simulated_wall_seconds >= 10 * model.cal.compile_seconds
 
-    def test_batch_parallelism_divides_wall(self, tuning_setup):
+    def test_batch_parallelism_shrinks_wall(self, tuning_setup):
+        # Batch-aware accounting: the batch costs its longest lane, which is
+        # at least sum/lanes (lanes cannot split one compile+measure cycle)
+        # but far below the sequential sum.
         program, pool, model = tuning_setup
         seq = ConfigurationEvaluator([program], model, seed=0)
         par = ConfigurationEvaluator(
@@ -175,9 +178,30 @@ class TestEvaluator:
         )
         seq.evaluate_batch(pool[:10])
         par.evaluate_batch(pool[:10])
-        assert par.simulated_wall_seconds == pytest.approx(
-            seq.simulated_wall_seconds / 5
+        assert par.simulated_wall_seconds >= seq.simulated_wall_seconds / 5
+        assert par.simulated_wall_seconds < seq.simulated_wall_seconds / 4
+
+    def test_batch_parallelism_matches_list_schedule(self, tuning_setup):
+        program, pool, model = tuning_setup
+        par = ConfigurationEvaluator(
+            [program], model, seed=0, batch_parallelism=3
         )
+        walls = [par.evaluate_one(c).wall for c in pool[:10]]
+        par.evaluate_batch(pool[:10])
+        lanes = [0.0, 0.0, 0.0]
+        for w in walls:
+            lanes[min(range(3), key=lanes.__getitem__)] += w
+        assert par.simulated_wall_seconds == pytest.approx(max(lanes))
+
+    def test_lanes_capped_by_batch_size(self, tuning_setup):
+        # A single evaluation occupies one lane no matter the parallelism.
+        program, pool, model = tuning_setup
+        ev = ConfigurationEvaluator(
+            [program], model, seed=0, batch_parallelism=8
+        )
+        wall = ev.evaluate_one(pool[0]).wall
+        ev.evaluate(pool[0])
+        assert ev.simulated_wall_seconds == pytest.approx(wall)
 
     def test_illegal_config_penalized(self):
         from repro.workloads.spectral import lg3

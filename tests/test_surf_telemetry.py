@@ -1,0 +1,114 @@
+"""Tests for search telemetry (per-batch observability records)."""
+
+import json
+
+import pytest
+
+from repro.autotune import Autotuner
+from repro.gpusim.arch import GTX980
+from repro.surf.telemetry import SearchTelemetry
+
+
+def _tuner(**kw):
+    defaults = dict(max_evaluations=30, batch_size=10, pool_size=300, seed=0)
+    defaults.update(kw)
+    return Autotuner(GTX980, **defaults)
+
+
+class TestSearchTelemetry:
+    def test_surf_emits_batches(self, two_op_program):
+        result = _tuner().tune_program(two_op_program)
+        tel = result.search.telemetry
+        assert tel is not None
+        assert [r.batch_index for r in tel.records] == list(
+            range(len(tel.records))
+        )
+        assert sum(r.batch_size for r in tel.records) == result.search.evaluations
+        assert sum(r.evaluations for r in tel.records) == result.search.evaluations
+        # SURF refits the surrogate after every batch.
+        assert all(r.fit_seconds >= 0.0 for r in tel.records)
+
+    def test_best_so_far_non_increasing(self, two_op_program):
+        result = _tuner().tune_program(two_op_program)
+        curve = [r.best_so_far for r in result.search.telemetry.records]
+        assert curve == sorted(curve, reverse=True)
+        assert curve[-1] == pytest.approx(result.search.best_objective)
+
+    def test_wall_clock_monotone(self, two_op_program):
+        result = _tuner().tune_program(two_op_program)
+        walls = [
+            r.simulated_wall_seconds for r in result.search.telemetry.records
+        ]
+        assert walls == sorted(walls)
+        assert walls[-1] == pytest.approx(result.search_seconds)
+
+    def test_baseline_searchers_emit(self, two_op_program):
+        for kind in ("random", "exhaustive"):
+            result = _tuner(searcher=kind).tune_program(two_op_program)
+            tel = result.search.telemetry
+            assert tel is not None
+            assert sum(r.batch_size for r in tel.records) == result.search.evaluations
+            assert all(r.fit_seconds == 0.0 for r in tel.records)
+
+    def test_json_round_trip(self, two_op_program):
+        result = _tuner().tune_program(two_op_program)
+        payload = json.loads(result.search.telemetry.to_json())
+        assert payload["totals"]["evaluations"] == result.search.evaluations
+        assert len(payload["batches"]) == len(result.search.telemetry.records)
+
+    def test_disabled_telemetry(self, two_op_program):
+        result = _tuner(telemetry=False).tune_program(two_op_program)
+        assert result.search.telemetry is None
+
+    def test_without_counters_assumes_fresh_evals(self):
+        tel = SearchTelemetry()
+        tel.record_batch(batch_size=5, best_so_far=1.0)
+        assert tel.records[0].evaluations == 5
+        assert tel.records[0].cache_hits == 0
+
+
+class TestPerVariantTelemetry:
+    def test_merged_records(self, mttkrp):
+        result = _tuner(per_variant=True).tune_contraction(mttkrp)
+        tel = result.search.telemetry
+        assert tel is not None
+        assert sum(r.batch_size for r in tel.records) == result.search.evaluations
+        assert [r.batch_index for r in tel.records] == list(
+            range(len(tel.records))
+        )
+        # Wall clock keeps accumulating across the merged sub-searches.
+        assert tel.records[-1].simulated_wall_seconds == pytest.approx(
+            result.search_seconds
+        )
+
+    def test_history_carries_true_variant_indices(self, mttkrp):
+        # Regression: merged per-variant history used to keep variant 0 on
+        # every entry because sub-runs see their program as variant 0.
+        result = _tuner(per_variant=True).tune_contraction(mttkrp)
+        indices = {c.variant_index for c, _y in result.search.history}
+        assert indices == set(range(result.variant_count))
+        per_variant = result.search.evaluations // result.variant_count
+        for v in indices:
+            count = sum(
+                1 for c, _y in result.search.history if c.variant_index == v
+            )
+            assert count == per_variant
+
+
+class TestCliTelemetry:
+    def test_tune_dumps_telemetry(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "telemetry.json"
+        code = main(
+            [
+                "tune", "d1_1",
+                "--evals", "15", "--pool", "200", "--seed", "3",
+                "--telemetry", str(out),
+            ]
+        )
+        assert code == 0
+        assert "telemetry:" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["totals"]["points"] == 15
+        assert payload["batches"]
