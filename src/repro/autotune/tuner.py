@@ -26,12 +26,14 @@ from repro.errors import SearchError
 from repro.gpusim.arch import GPUArch
 from repro.gpusim.calibration import DEFAULT_GPU_CAL, GPUCalibration
 from repro.gpusim.perfmodel import GPUPerformanceModel, ProgramTiming
+from repro.gpusim.timing_table import ProgramTimingTable
 from repro.surf.cache import CachedEvaluator, EvaluationCache
 from repro.surf.evaluator import BatchEvaluator, ConfigurationEvaluator
 from repro.surf.exhaustive import ExhaustiveSearch
 from repro.surf.parallel import ParallelBatchEvaluator
 from repro.surf.random_search import RandomSearch
 from repro.surf.search import SearchResult, SURFSearch
+from repro.surf.separable import SeparableExhaustiveSearch
 from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.decision import decide_search_space
 from repro.tcr.program import TCRProgram
@@ -96,7 +98,9 @@ def _make_searcher(kind: str, batch_size: int, max_evaluations: int, seed: int):
         )
     if kind == "exhaustive":
         return ExhaustiveSearch(batch_size=batch_size)
-    raise SearchError(f"unknown searcher {kind!r} (surf|random|exhaustive)")
+    raise SearchError(
+        f"unknown searcher {kind!r} (surf|random|exhaustive|sweep)"
+    )
 
 
 class Autotuner:
@@ -107,7 +111,10 @@ class Autotuner:
     arch:
         Target device.
     searcher:
-        ``"surf"`` (default), ``"random"`` or ``"exhaustive"``.
+        ``"surf"`` (default), ``"random"``, ``"exhaustive"``, or
+        ``"sweep"`` (separability-aware exhaustive optimum over timing
+        tables — exact noise-free best in ``O(sum of kernel-space
+        sizes)``).
     max_evaluations / batch_size:
         SURF's ``nmax`` and ``bs`` (paper defaults: 100 and a small batch).
     pool_size:
@@ -136,6 +143,20 @@ class Autotuner:
         Emit per-batch :class:`~repro.surf.telemetry.SearchTelemetry`
         records on every ``SearchResult`` (on by default; costs nothing
         measurable and never affects search decisions).
+    fast_model:
+        Precompute per-variant
+        :class:`~repro.gpusim.timing_table.ProgramTimingTable`\\ s and
+        score configurations by table lookup instead of re-running the
+        scalar model per point.  Results are bitwise identical (the
+        tables reproduce ``program_timing`` exactly, and measurement
+        noise is layered on from the same per-point rng substream);
+        it only shifts where the time goes — one vectorized pass up
+        front instead of per-evaluation model runs.  ``None`` (default)
+        consults ``REPRO_FAST_MODEL`` (unset/empty/"0" = off).
+    sweep_full:
+        With ``searcher="sweep"``, materialize the broadcast-summed
+        totals of the entire product space per variant instead of the
+        per-kernel argmin (same answer; bounded memory guard applies).
     """
 
     def __init__(
@@ -156,6 +177,8 @@ class Autotuner:
         workers: int | None = None,
         telemetry: bool = True,
         parallel_executor: str = "thread",
+        fast_model: bool | None = None,
+        sweep_full: bool = False,
     ) -> None:
         """``per_variant=True`` reproduces the paper's OCTOPI flow for
         multi-variant contractions: each algebraic version is autotuned
@@ -184,6 +207,10 @@ class Autotuner:
         self.workers = max(1, workers)
         self.telemetry = telemetry
         self.parallel_executor = parallel_executor
+        if fast_model is None:
+            fast_model = os.environ.get("REPRO_FAST_MODEL", "") not in ("", "0")
+        self.fast_model = bool(fast_model)
+        self.sweep_full = sweep_full
         self._cache_store: EvaluationCache | None = None
 
     # ------------------------------------------------------------------
@@ -196,7 +223,11 @@ class Autotuner:
             self._cache_store = EvaluationCache(path)
         return self._cache_store
 
-    def _build_evaluator(self, programs: list[TCRProgram]) -> BatchEvaluator:
+    def _build_evaluator(
+        self,
+        programs: list[TCRProgram],
+        tables: list[ProgramTimingTable] | None = None,
+    ) -> BatchEvaluator:
         """Stack the evaluation engine: model -> cache -> parallel fan-out."""
         evaluator: BatchEvaluator = ConfigurationEvaluator(
             programs,
@@ -205,6 +236,7 @@ class Autotuner:
             noisy=self.noisy,
             include_transfer=self.include_transfer,
             batch_parallelism=self.batch_parallelism,
+            tables=tables,
         )
         store = self._evaluation_cache()
         if store is not None:
@@ -238,23 +270,43 @@ class Autotuner:
             decide_search_space(p, variant_index=i) for i, p in enumerate(programs)
         ]
         tuning_space = TuningSpace(spaces)
-        rng = spawn_rng(self.seed, "pool", name, self.arch.name)
-        pool = tuning_space.sample_pool(
-            min(self.pool_size, tuning_space.size()), rng
-        )
-        # Wall-clock accounting defaults to sequential (batch_parallelism=1):
-        # the paper's ~4 s/variant search times for Lg3t imply one rig timing
-        # one variant at a time, with batching used for model refresh cadence.
-        evaluator = self._build_evaluator(programs)
-        searcher = _make_searcher(
-            self.searcher_kind, self.batch_size, self.max_evaluations, self.seed
-        )
-        result = searcher.search(
-            pool,
-            evaluator.evaluate_batch,
-            wall_seconds=lambda: evaluator.simulated_wall_seconds,
-            telemetry=SearchTelemetry(counters=evaluator.counters),
-        )
+        tables = None
+        if self.fast_model or self.searcher_kind == "sweep":
+            tables = [
+                ProgramTimingTable.build(self.model, p, s)
+                for p, s in zip(programs, spaces)
+            ]
+        if self.searcher_kind == "sweep":
+            # The separable sweep reads the tables directly — no pool, no
+            # evaluator; it optimizes the noise-free modeled time.
+            searcher = SeparableExhaustiveSearch(
+                tables,
+                include_transfer=self.include_transfer,
+                full_sweep=self.sweep_full,
+                tuning_space=tuning_space,
+            )
+            result = searcher.search(telemetry=SearchTelemetry())
+            pool = []
+        else:
+            rng = spawn_rng(self.seed, "pool", name, self.arch.name)
+            pool = tuning_space.sample_pool(
+                min(self.pool_size, tuning_space.size()), rng
+            )
+            # Wall-clock accounting defaults to sequential
+            # (batch_parallelism=1): the paper's ~4 s/variant search times
+            # for Lg3t imply one rig timing one variant at a time, with
+            # batching used for model refresh cadence.
+            evaluator = self._build_evaluator(programs, tables=tables)
+            searcher = _make_searcher(
+                self.searcher_kind, self.batch_size, self.max_evaluations,
+                self.seed,
+            )
+            result = searcher.search(
+                pool,
+                evaluator.evaluate_batch,
+                wall_seconds=lambda: evaluator.simulated_wall_seconds,
+                telemetry=SearchTelemetry(counters=evaluator.counters),
+            )
         if not self.telemetry:
             result.telemetry = None
         best = result.best_config

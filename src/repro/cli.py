@@ -39,7 +39,18 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--pool", type=int, default=2500, help="configuration pool size")
     tune.add_argument("--seed", type=int, default=1)
     tune.add_argument(
-        "--searcher", default="surf", choices=("surf", "random", "exhaustive")
+        "--searcher", default="surf",
+        choices=("surf", "random", "exhaustive", "sweep"),
+    )
+    tune.add_argument(
+        "--sweep", action="store_true",
+        help="shorthand for --searcher sweep: exact noise-free optimum via "
+        "separable per-kernel argmin over vectorized timing tables",
+    )
+    tune.add_argument(
+        "--fast-model", action="store_true", default=None,
+        help="score configurations by precomputed timing-table lookup "
+        "(bitwise identical to the scalar model; default: $REPRO_FAST_MODEL)",
     )
     tune.add_argument(
         "--per-variant", action="store_true",
@@ -116,7 +127,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     cache = True if args.cache == "mem" else args.cache
     tuner = Autotuner(
         gpu_by_name(args.arch),
-        searcher=args.searcher,
+        searcher="sweep" if args.sweep else args.searcher,
         max_evaluations=args.evals,
         batch_size=args.batch,
         pool_size=args.pool,
@@ -124,6 +135,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         per_variant=args.per_variant,
         cache=cache,
         workers=args.workers,
+        fast_model=args.fast_model,
     )
     result = workload.tune(tuner)
     print(result.summary())

@@ -9,6 +9,8 @@ Tesla K20, GTX 980).  None is available here, so this subpackage provides:
   access-pattern classification);
 * :mod:`repro.gpusim.perfmodel` — the analytical timing model used as the
   autotuning objective;
+* :mod:`repro.gpusim.timing_table` — the same timing model vectorized over
+  whole kernel spaces (exact-parity batch evaluation and full-space sweeps);
 * :mod:`repro.gpusim.executor` — a functional interpreter that executes the
   mapped kernel exactly as the generated CUDA would (correctness oracle);
 * :mod:`repro.gpusim.transfer` — PCIe transfer model;
@@ -19,8 +21,9 @@ Tesla K20, GTX 980).  None is available here, so this subpackage provides:
 """
 
 from repro.gpusim.arch import GPUArch, CPUArch, GTX980, K20, C2050, HASWELL, gpu_by_name
-from repro.gpusim.kernel import KernelLaunch, build_launch
+from repro.gpusim.kernel import KernelLaunch, build_launch, build_launch_cached
 from repro.gpusim.perfmodel import GPUPerformanceModel, ProgramTiming
+from repro.gpusim.timing_table import KernelTimingTable, ProgramTimingTable
 from repro.gpusim.executor import execute_kernel, execute_program
 from repro.gpusim.cpu import CPUPerformanceModel
 from repro.gpusim.openacc import OpenACCModel
@@ -35,8 +38,11 @@ __all__ = [
     "gpu_by_name",
     "KernelLaunch",
     "build_launch",
+    "build_launch_cached",
     "GPUPerformanceModel",
     "ProgramTiming",
+    "KernelTimingTable",
+    "ProgramTimingTable",
     "execute_kernel",
     "execute_program",
     "CPUPerformanceModel",

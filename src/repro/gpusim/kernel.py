@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 from repro.core.tensor import TensorRef
 from repro.errors import ConfigurationError
@@ -21,7 +22,13 @@ from repro.tcr.memory import stride_of
 from repro.tcr.program import TCROperation
 from repro.tcr.space import ONE, KernelConfig
 
-__all__ = ["AccessClass", "RefAccess", "KernelLaunch", "build_launch"]
+__all__ = [
+    "AccessClass",
+    "RefAccess",
+    "KernelLaunch",
+    "build_launch",
+    "build_launch_cached",
+]
 
 
 class AccessClass(Enum):
@@ -218,3 +225,29 @@ def build_launch(
         serial_loops=serial_loops,
         accesses=tuple(accesses),
     )
+
+
+@lru_cache(maxsize=65536)
+def _build_launch_from_items(
+    operation: TCROperation,
+    config: KernelConfig,
+    dims_items: tuple[tuple[str, int], ...],
+) -> KernelLaunch:
+    return build_launch(operation, config, dict(dims_items))
+
+
+def build_launch_cached(
+    operation: TCROperation,
+    config: KernelConfig,
+    dims: Mapping[str, int],
+) -> KernelLaunch:
+    """Memoized :func:`build_launch` for repeat visits to the same point.
+
+    Annealing neighborhoods, cache-miss re-scores, and per-variant sweeps
+    rebuild identical launches many times; the launch is immutable, so one
+    construction per ``(operation, config, dims)`` suffices.  Failed builds
+    are *not* cached (``lru_cache`` does not memoize exceptions) — penalty
+    configurations re-pay construction, which is fine because they are also
+    re-charged compile time by the evaluator.
+    """
+    return _build_launch_from_items(operation, config, tuple(sorted(dims.items())))

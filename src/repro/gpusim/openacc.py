@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.gpusim.kernel import build_launch
+from repro.gpusim.kernel import build_launch_cached
 from repro.gpusim.perfmodel import GPUPerformanceModel, ProgramTiming
 from repro.gpusim.transfer import program_transfer_time
 from repro.tcr.program import TCROperation, TCRProgram
@@ -103,7 +103,7 @@ class OpenACCModel:
     ) -> ProgramTiming:
         kernels = []
         for i, (op, kc) in enumerate(zip(program.operations, configs)):
-            launch = build_launch(op, kc, program.dims)
+            launch = build_launch_cached(op, kc, program.dims)
             kernels.append(
                 self.model.kernel_timing(
                     launch,

@@ -36,7 +36,7 @@ import numpy as np
 from repro.errors import ConfigurationError, SimulationError
 from repro.gpusim.arch import GPUArch
 from repro.gpusim.calibration import DEFAULT_GPU_CAL, GPUCalibration
-from repro.gpusim.kernel import AccessClass, KernelLaunch, build_launch
+from repro.gpusim.kernel import AccessClass, KernelLaunch, build_launch_cached
 from repro.gpusim.transfer import program_transfer_time
 from repro.tcr.program import TCRProgram
 from repro.tcr.space import ProgramConfig
@@ -300,7 +300,7 @@ class GPUPerformanceModel:
             )
         kernels = []
         for op, kc in zip(program.operations, config.kernels):
-            launch = build_launch(op, kc, program.dims)
+            launch = build_launch_cached(op, kc, program.dims)
             kernels.append(self.kernel_timing(launch))
         h2d_elems, d2h_elems = program.transfer_elements()
         h2d, d2h = program_transfer_time(
@@ -309,6 +309,39 @@ class GPUPerformanceModel:
         return ProgramTiming(
             h2d_s=h2d, d2h_s=d2h, kernels=tuple(kernels), flops=program.flops()
         )
+
+    def noisy_measurement(self, t: float, rng: np.random.Generator) -> float:
+        """Apply one draw of measurement noise to a modeled time.
+
+        Shared by the timing and the table-lookup paths so both perturb a
+        given time identically (same formula, same rng stream position).
+        """
+        sigma = self.cal.measurement_noise / math.sqrt(self.cal.repetitions)
+        return t * max(0.1, 1.0 + sigma * rng.standard_normal())
+
+    def value_from_timing(
+        self,
+        timing: ProgramTiming,
+        rng: np.random.Generator | None = None,
+        include_transfer: bool = True,
+    ) -> float:
+        """Objective value from an already-computed :class:`ProgramTiming`.
+
+        Evaluator paths that need both the objective and the wall cost can
+        compute the timing once and derive both, instead of running the
+        model twice per configuration.
+        """
+        t = timing.total_s if include_transfer else timing.kernel_s
+        if rng is not None:
+            t = self.noisy_measurement(t, rng)
+        return t
+
+    def wall_from_timing(self, timing: ProgramTiming) -> float:
+        """Evaluation wall cost from an already-computed timing."""
+        measure = min(
+            self.cal.repetitions * timing.total_s, self.cal.measure_cap_seconds
+        )
+        return self.cal.compile_seconds + measure
 
     def evaluate(
         self,
@@ -323,11 +356,7 @@ class GPUPerformanceModel:
         count (the paper averages each point over 100 runs).
         """
         timing = self.program_timing(program, config)
-        t = timing.total_s if include_transfer else timing.kernel_s
-        if rng is not None:
-            sigma = self.cal.measurement_noise / math.sqrt(self.cal.repetitions)
-            t *= max(0.1, 1.0 + sigma * rng.standard_normal())
-        return t
+        return self.value_from_timing(timing, rng=rng, include_transfer=include_transfer)
 
     def evaluation_wall_seconds(
         self, program: TCRProgram, config: ProgramConfig
@@ -338,7 +367,4 @@ class GPUPerformanceModel:
         Table II accumulates (about 4 s per variant for Lg3t).
         """
         timing = self.program_timing(program, config)
-        measure = min(
-            self.cal.repetitions * timing.total_s, self.cal.measure_cap_seconds
-        )
-        return self.cal.compile_seconds + measure
+        return self.wall_from_timing(timing)

@@ -1,0 +1,542 @@
+"""Vectorized kernel-timing tables: the performance model, batched.
+
+Every search strategy bottoms out in
+:meth:`~repro.gpusim.perfmodel.GPUPerformanceModel.evaluate`, which
+rebuilds a :class:`~repro.gpusim.kernel.KernelLaunch` and re-runs the
+scalar occupancy/compute/memory arithmetic for each configuration.  But a
+program's modeled time is a *sum of independent per-kernel timings* plus
+configuration-independent transfer costs, so a product space
+``|K1| x |K2| x ... x |Kn|`` contains only ``|K1| + |K2| + ... + |Kn|``
+distinct kernel timings.  This module exploits that separability:
+
+``KernelTimingTable``
+    All of one kernel's per-configuration timings, computed in a single
+    numpy pass over the kernel space.  The arithmetic mirrors
+    ``GPUPerformanceModel`` operation for operation (same association
+    order, same int-to-float conversion points), so table entries are
+    **bitwise equal** to ``kernel_timing(...).total_s`` — a guarantee the
+    test suite enforces.  Configurations the scalar model would reject
+    with :class:`~repro.errors.ConfigurationError` (register pressure,
+    oversized blocks, illegal unroll) are marked invalid and carry
+    ``+inf``.
+``ProgramTimingTable``
+    Per-kernel tables composed with the config-independent H2D/D2H costs:
+    O(1) lookup of a whole program configuration, per-kernel ``argmin`` in
+    O(sum |Ki|), and a broadcast-summed sweep of the *entire* product
+    space.
+
+The deterministic wobble (``stable_uniform`` keyed on the configuration)
+is inherently scalar — one BLAKE2b hash per configuration — so it is
+precomputed once per table entry during the gather pass instead of being
+re-hashed on every model call.
+
+What the tables do *not* model: measurement noise (applied per whole
+program, on top of the table value, by the evaluator) and the
+``scalar_replacement=False`` / ``efficiency_factor`` handicaps of the
+OpenACC strategy models (those paths stay on the scalar model).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.calibration import GPUCalibration
+from repro.gpusim.perfmodel import GPUPerformanceModel
+from repro.gpusim.transfer import program_transfer_time
+from repro.tcr.memory import stride_of
+from repro.tcr.program import TCROperation, TCRProgram
+from repro.tcr.space import ONE, KernelConfig, ProgramConfig, ProgramSpace
+from repro.util.rng import StableHashPrefix
+
+__all__ = ["KernelTimingTable", "ProgramTimingTable"]
+
+_B = 8  # bytes per double (matches perfmodel)
+
+#: Access-class codes for the vectorized memory model.
+_COALESCED, _BROADCAST, _STRIDED = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class KernelTimingTable:
+    """All per-configuration timings of one kernel, as flat numpy vectors.
+
+    ``totals[i]`` is bitwise equal to
+    ``model.kernel_timing(build_launch(operation, configs[i], dims)).total_s``
+    when configuration ``i`` is buildable, and ``+inf`` (with
+    ``valid[i] == False``) when the scalar path would raise
+    :class:`ConfigurationError`.
+    """
+
+    operation: TCROperation
+    configs: tuple[KernelConfig, ...]
+    flops: int
+    totals: np.ndarray
+    valid: np.ndarray
+    compute_s: np.ndarray
+    memory_s: np.ndarray
+    utilization: np.ndarray
+    occupancy: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def __getstate__(self):
+        # Drop lazily-cached derived state; rebuilt on demand after unpickling.
+        return {
+            k: v
+            for k, v in self.__dict__.items()
+            if k not in ("totals_list", "valid_list")
+        }
+
+    @cached_property
+    def totals_list(self) -> list[float]:
+        """``totals`` as Python floats — faster for one-at-a-time lookups.
+
+        ``ndarray.tolist()`` is exact for float64, so scalar sums over
+        these stay bitwise equal to the scalar model.
+        """
+        return self.totals.tolist()
+
+    @cached_property
+    def valid_list(self) -> list[bool]:
+        return self.valid.tolist()
+
+    @classmethod
+    def build(
+        cls,
+        model: GPUPerformanceModel,
+        operation: TCROperation,
+        configs: Sequence[KernelConfig],
+        dims: Mapping[str, int],
+    ) -> "KernelTimingTable":
+        """Compute every configuration's timing in one vectorized pass."""
+        arch, cal = model.arch, model.cal
+        configs = tuple(configs)
+        n = len(configs)
+        refs = [(r, False) for r in operation.inputs] + [(operation.output, True)]
+        n_refs = len(refs)
+        parallel = set(operation.parallel_indices)
+        all_idx = set(operation.all_indices)
+        red = set(operation.reduction_indices)
+        serial_pool = operation.output.indices + operation.reduction_indices
+        wobble_key = StableHashPrefix("kernel", arch.name, str(operation))
+        flops = operation.flops(dims)
+
+        def ext(idx: str) -> int:
+            return 1 if idx == ONE else dims[idx]
+
+        # ------------------------------------------------------------------
+        # Gather pass: per-configuration integers.  Everything that does not
+        # depend on the unroll factor is shared by a "family" of
+        # configurations (same decomposition + serial order), so it is
+        # computed once per family and reused — the per-configuration work
+        # is a dict lookup, the unroll legality check, and the wobble hash.
+        # ------------------------------------------------------------------
+        family_cache: dict[tuple, tuple] = {}
+
+        def family(cfg: KernelConfig) -> tuple:
+            key = (cfg.tx, cfg.ty, cfg.bx, cfg.by, cfg.serial_order)
+            fam = family_cache.get(key)
+            if fam is None:
+                ok = cfg.tx != ONE
+                mapped = cfg.mapped
+                mapped_set = set(mapped)
+                if ok:
+                    if len(mapped_set) != len(mapped):
+                        ok = False
+                    elif any(i not in all_idx or i not in parallel for i in mapped):
+                        ok = False
+                    else:
+                        expected = [i for i in serial_pool if i not in mapped_set]
+                        if sorted(cfg.serial_order) != sorted(expected):
+                            ok = False
+                inner_red = 1
+                for idx in reversed(cfg.serial_order):
+                    if idx in red:
+                        inner_red = dims[idx]
+                        break
+                tpb = ext(cfg.tx) * ext(cfg.ty)
+                blocks = ext(cfg.bx) * ext(cfg.by)
+                sit = 1
+                for idx in cfg.serial_order:
+                    sit *= dims[idx]
+                grid = {cfg.bx, cfg.by}
+                inner = cfg.serial_order[-1] if cfg.serial_order else None
+                per_ref = []
+                for ref, _is_out in refs:
+                    txs = stride_of(ref, cfg.tx, dims)
+                    ins = stride_of(ref, inner, dims) if inner is not None else 0
+                    code = (
+                        _COALESCED if txs == 1
+                        else _BROADCAST if txs == 0
+                        else _STRIDED
+                    )
+                    reacc = 1
+                    for idx in dict.fromkeys(cfg.serial_order):
+                        if idx in ref.indices:
+                            reacc *= dims[idx]
+                    fp = _B
+                    for idx in ref.indices:
+                        if idx not in grid:
+                            fp *= dims[idx]
+                    per_ref.append((code, 0 <= ins <= 4, reacc, fp))
+                fam = (ok, inner_red, tpb, blocks, sit, len(cfg.serial_order), per_ref)
+                family_cache[key] = fam
+            return fam
+
+        ok_l = np.empty(n, dtype=bool)
+        tpb_l = np.empty(n, dtype=np.int64)
+        blocks_l = np.empty(n, dtype=np.int64)
+        sit_l = np.empty(n, dtype=np.int64)
+        nser_l = np.empty(n, dtype=np.int64)
+        unroll_l = np.empty(n, dtype=np.int64)
+        wob_l = np.empty(n, dtype=np.float64)
+        code_l = np.empty((n_refs, n), dtype=np.int64)
+        local_l = np.empty((n_refs, n), dtype=bool)
+        reacc_l = np.empty((n_refs, n), dtype=np.int64)
+        fp_l = np.empty((n_refs, n), dtype=np.int64)
+
+        for i, cfg in enumerate(configs):
+            ok, inner_red, tpb, blocks, sit, nser, per_ref = family(cfg)
+            u = cfg.unroll
+            if u < 1 or (inner_red == 1 and u != 1) or u > inner_red:
+                ok = False
+            ok_l[i] = ok
+            tpb_l[i] = tpb
+            blocks_l[i] = blocks
+            sit_l[i] = sit
+            nser_l[i] = nser
+            unroll_l[i] = u
+            wob_l[i] = wobble_key.uniform(cfg.describe())
+            for r, (code, inner_local, reacc, fp) in enumerate(per_ref):
+                code_l[r, i] = code
+                local_l[r, i] = inner_local
+                reacc_l[r, i] = reacc
+                fp_l[r, i] = fp
+
+        # ------------------------------------------------------------------
+        # Occupancy (perfmodel.occupancy): block slots, warp slots, registers.
+        # ------------------------------------------------------------------
+        ws = arch.warp_size
+        wpb = -(-tpb_l // ws)  # ceil(tpb / warp_size), exact for integer tpb
+        regs = np.minimum(
+            14 + 3 * np.maximum(0, unroll_l - 1) + 2 * nser_l,
+            arch.max_registers_per_thread,
+        )
+        reg_limit = arch.registers_per_sm // np.maximum(1, regs * tpb_l)
+        bps = np.minimum(
+            np.minimum(arch.max_blocks_per_sm, arch.max_warps_per_sm // wpb),
+            reg_limit,
+        )
+        valid = ok_l & (tpb_l <= arch.max_threads_per_block) & (bps >= 1)
+        bps = np.maximum(bps, 1)  # keep the arithmetic finite on invalid rows
+        active_warps = np.minimum(bps * wpb, arch.max_warps_per_sm)
+        occupancy = active_warps / arch.max_warps_per_sm
+
+        # ------------------------------------------------------------------
+        # Utilization (perfmodel._utilization).
+        # ------------------------------------------------------------------
+        concurrent = np.minimum(blocks_l, arch.sm_count * bps)
+        needed = arch.sm_count * arch.latency_hiding_warps
+        # numpy's vectorized pow can differ from libm's by 1 ulp; the scalar
+        # model uses Python's ``**`` (libm), so match it elementwise.
+        latency_base = np.minimum(1.0, concurrent * wpb / needed)
+        exp = cal.latency_exponent
+        latency = np.fromiter(
+            (b ** exp for b in latency_base.tolist()), dtype=np.float64, count=n
+        )
+        capacity = arch.sm_count * bps
+        waves = np.ceil(blocks_l / capacity)
+        tail = np.where(waves <= 1.0, 1.0, blocks_l / (waves * capacity))
+        utilization = latency * np.maximum(tail, 1e-3)
+
+        # ------------------------------------------------------------------
+        # Compute time (perfmodel._compute_time).
+        # ------------------------------------------------------------------
+        warp_fill = tpb_l / (wpb * ws)
+        ilp = (
+            cal.ilp_base
+            + (1.0 - cal.ilp_base)
+            * np.minimum(unroll_l, cal.ilp_saturation)
+            / cal.ilp_saturation
+        )
+        overhead = 1.0 / (1.0 + cal.loop_overhead / unroll_l)
+        eff = cal.compute_efficiency_max * warp_fill * ilp * overhead
+        dp_time = flops / (arch.peak_dp_gflops * 1e9 * eff)
+        iterations = tpb_l * blocks_l * sit_l
+        addr_ops = cal.addr_base + cal.addr_loop / unroll_l
+        int_time = iterations * addr_ops / (arch.int_gops * 1e9 * warp_fill)
+        compute_s = dp_time + int_time
+
+        # ------------------------------------------------------------------
+        # Memory time (perfmodel._memory_time, scalar_replacement=True).
+        # ------------------------------------------------------------------
+        warps_total = blocks_l * wpb
+        strided_pw = float(ws * arch.transaction_bytes)
+        strided_pw_local = strided_pw / max(1.0, arch.transaction_bytes / (4 * _B))
+        per_ref_traffic: list[tuple[np.ndarray, np.ndarray]] = []
+        hot_set = np.zeros(n, dtype=np.int64)
+        for r, (ref, is_out) in enumerate(refs):
+            per_warp = np.where(
+                code_l[r] == _COALESCED,
+                float(ws * _B),
+                np.where(
+                    code_l[r] == _BROADCAST,
+                    float(arch.transaction_bytes),
+                    np.where(local_l[r], strided_pw_local, strided_pw),
+                ),
+            )
+            raw = warps_total * reacc_l[r] * per_warp
+            block_floor = (blocks_l * fp_l[r]).astype(np.float64)
+            if is_out:
+                raw = raw * 2.0
+                block_floor = block_floor * 2.0
+            cond = (block_floor < raw) & (fp_l[r] <= 64 * 1024)
+            total = np.where(
+                cond,
+                block_floor + arch.cache_miss_fraction * (raw - block_floor),
+                raw,
+            )
+            elements = ref.size(dims)
+            cold_const = elements * _B * (
+                2.0 if is_out and cal.write_allocate else 1.0
+            )
+            cold = np.minimum(cold_const, total)
+            hot_set = hot_set + np.where(total > 1.5 * cold, elements * _B, 0)
+            per_ref_traffic.append((total, cold))
+        usable_l2 = arch.l2_bytes * cal.l2_usable_fraction
+        l2_hit = np.where(
+            hot_set > 0,
+            np.minimum(1.0, usable_l2 / np.maximum(hot_set, 1)),
+            1.0,
+        )
+        dram_bytes = 0.0
+        l2_bytes = 0.0
+        for total, cold in per_ref_traffic:
+            dram_now = cold + (total - cold) * (1.0 - l2_hit)
+            dram_bytes = dram_bytes + dram_now
+            l2_bytes = l2_bytes + (total - dram_now)
+        eff_bw = arch.dram_bandwidth_gbs * arch.dram_efficiency * 1e9
+        memory_s = dram_bytes / eff_bw + l2_bytes / (eff_bw * arch.l2_bandwidth_ratio)
+
+        # ------------------------------------------------------------------
+        # Whole-kernel assembly (perfmodel.kernel_timing).
+        # ------------------------------------------------------------------
+        busy = np.maximum(compute_s, memory_s) + 0.3 * np.minimum(compute_s, memory_s)
+        launch_s = arch.kernel_launch_us * 1e-6
+        wobble = 1.0 + cal.systematic_noise * (2.0 * wob_l - 1.0)
+        totals = busy / utilization * wobble + launch_s
+        totals = np.where(valid, totals, np.inf)
+
+        return cls(
+            operation=operation,
+            configs=configs,
+            flops=flops,
+            totals=totals,
+            valid=valid,
+            compute_s=compute_s,
+            memory_s=memory_s,
+            utilization=utilization,
+            occupancy=occupancy,
+        )
+
+
+@dataclass(frozen=True)
+class ProgramTimingTable:
+    """Per-kernel timing tables composed with the transfer costs.
+
+    Kernel indices address the owning :class:`ProgramSpace`'s kernel
+    spaces; ``lookup`` maps a :class:`ProgramConfig` onto them.  All times
+    reproduce ``GPUPerformanceModel.program_timing`` bitwise (same
+    left-to-right summation order as ``ProgramTiming``).
+    """
+
+    program: TCRProgram
+    space: ProgramSpace
+    kernels: tuple[KernelTimingTable, ...]
+    cal: GPUCalibration
+    h2d_s: float
+    d2h_s: float
+    flops: int
+
+    @classmethod
+    def build(
+        cls,
+        model: GPUPerformanceModel,
+        program: TCRProgram,
+        space: ProgramSpace,
+    ) -> "ProgramTimingTable":
+        kernels = tuple(
+            KernelTimingTable.build(model, op, ks, program.dims)
+            for op, ks in zip(program.operations, space.kernel_spaces)
+        )
+        h2d_elems, d2h_elems = program.transfer_elements()
+        h2d, d2h = program_transfer_time(
+            model.arch, h2d_elems, d2h_elems, h2d_calls=len(program.input_names)
+        )
+        return cls(
+            program=program,
+            space=space,
+            kernels=kernels,
+            cal=model.cal,
+            h2d_s=h2d,
+            d2h_s=d2h,
+            flops=program.flops(),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def variant_index(self) -> int:
+        return self.space.variant_index
+
+    def size(self) -> int:
+        """Size of the full product space this table can sweep."""
+        return self.space.size()
+
+    @property
+    def kernel_evaluations(self) -> int:
+        """Distinct kernel timings held — sum, not product, of space sizes."""
+        return sum(len(t) for t in self.kernels)
+
+    def __getstate__(self):
+        # The identity maps key on object addresses of THIS process — they
+        # must never cross a pickle boundary (a worker's objects live at
+        # different addresses, so stale keys could silently mis-resolve).
+        return {
+            k: v for k, v in self.__dict__.items() if k != "_identity_maps"
+        }
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def _identity_maps(self) -> tuple[dict[int, int], ...]:
+        """Per-kernel ``id(config) -> index`` maps for the space's objects.
+
+        Configurations decoded from the space (``config_at``,
+        ``enumerate_all``) reference the kernel spaces' own materialized
+        objects, so an identity probe resolves them without hashing the
+        config; equal-but-distinct objects fall back to ``index_of``.
+        Sound because the space keeps every keyed object alive — a live
+        foreign object can never share its id.
+        """
+        return tuple(
+            {id(c): i for i, c in enumerate(ks)}
+            for ks in self.space.kernel_spaces
+        )
+
+    def lookup(self, config: ProgramConfig) -> tuple[int, ...]:
+        """Per-kernel table indices of ``config`` (raises if not in space)."""
+        if len(config.kernels) != len(self.kernels):
+            raise ConfigurationError(
+                f"configuration has {len(config.kernels)} kernels for a "
+                f"{len(self.kernels)}-kernel table"
+            )
+        ids = []
+        for imap, ks, kc in zip(
+            self._identity_maps, self.space.kernel_spaces, config.kernels
+        ):
+            i = imap.get(id(kc))
+            ids.append(ks.index_of(kc) if i is None else i)
+        return tuple(ids)
+
+    def valid_at(self, ids: Sequence[int]) -> bool:
+        for t, i in zip(self.kernels, ids):
+            if not t.valid_list[i]:
+                return False
+        return True
+
+    def kernel_seconds(self, ids: Sequence[int]) -> float:
+        """Sum of kernel times (``ProgramTiming.kernel_s``); inf if invalid."""
+        total = 0.0
+        for t, i in zip(self.kernels, ids):
+            total = total + t.totals_list[i]
+        return total
+
+    def total_seconds(self, ids: Sequence[int], include_transfer: bool = True) -> float:
+        ks = self.kernel_seconds(ids)
+        if not include_transfer:
+            return ks
+        return (self.h2d_s + ks) + self.d2h_s
+
+    def evaluation_wall(self, ids: Sequence[int]) -> float:
+        """Simulated rig cost of one empirical evaluation of this point."""
+        total = self.total_seconds(ids, include_transfer=True)
+        measure = min(self.cal.repetitions * total, self.cal.measure_cap_seconds)
+        return self.cal.compile_seconds + measure
+
+    def config_for(self, ids: Sequence[int], global_id: int = -1) -> ProgramConfig:
+        return ProgramConfig(
+            variant_index=self.space.variant_index,
+            kernels=tuple(
+                ks[i] for ks, i in zip(self.space.kernel_spaces, ids)
+            ),
+            global_id=global_id,
+        )
+
+    def local_index(self, ids: Sequence[int]) -> int:
+        """Mixed-radix position of ``ids`` within the program space."""
+        index = 0
+        for ks, i in zip(self.space.kernel_spaces, ids):
+            index = index * len(ks) + i
+        return index
+
+    # ------------------------------------------------------------------
+    def full_totals(self, include_transfer: bool = True) -> np.ndarray:
+        """Broadcast-summed totals of the *entire* product space.
+
+        Entry ``g`` equals ``total_seconds`` of the configuration
+        ``space.config_at(g)`` (mixed-radix order, last kernel fastest);
+        configurations containing an invalid kernel config are ``+inf``.
+        Allocates O(product) floats — guard with :meth:`size` first.
+        """
+        acc = self.kernels[0].totals
+        for t in self.kernels[1:]:
+            acc = acc[..., None] + t.totals
+        out = acc.reshape(-1)
+        if include_transfer:
+            out = (self.h2d_s + out) + self.d2h_s
+        return out
+
+    def argmin(
+        self, include_transfer: bool = True
+    ) -> tuple[tuple[int, ...], float] | None:
+        """Noise-free optimum via per-kernel argmin — O(sum |Ki|).
+
+        Separability: the program total is a sum of independent per-kernel
+        terms plus constants, so its minimizer is the per-kernel minimizer
+        tuple.  First-occurrence ``argmin`` per kernel reproduces the
+        global enumeration-order tie-break.  Returns None when some kernel
+        has no valid configuration at all.
+        """
+        ids = []
+        for t in self.kernels:
+            if not bool(t.valid.any()):
+                return None
+            ids.append(int(np.argmin(t.totals)))
+        ids_t = tuple(ids)
+        return ids_t, self.total_seconds(ids_t, include_transfer)
+
+    def first_invalid(self) -> tuple[int, ...] | None:
+        """Kernel ids of the enumeration-earliest *invalid* configuration.
+
+        That is the first point an exhaustive enumeration would score as a
+        build-failure penalty; None when every configuration is valid.
+        """
+        sizes = [len(t) for t in self.kernels]
+        best_pos: int | None = None
+        best_ids: tuple[int, ...] | None = None
+        for k, t in enumerate(self.kernels):
+            invalid = np.flatnonzero(~t.valid)
+            if invalid.size == 0:
+                continue
+            ids = tuple(
+                int(invalid[0]) if j == k else 0 for j in range(len(sizes))
+            )
+            pos = self.local_index(ids)
+            if best_pos is None or pos < best_pos:
+                best_pos, best_ids = pos, ids
+        return best_ids

@@ -16,6 +16,7 @@ from repro.surf.forest import ExtraTreesRegressor
 from repro.surf.search import SURFSearch, SearchResult
 from repro.surf.random_search import RandomSearch
 from repro.surf.exhaustive import ExhaustiveSearch
+from repro.surf.separable import SeparableExhaustiveSearch
 from repro.surf.evaluator import BatchEvaluator, ConfigurationEvaluator, EvalOutcome
 from repro.surf.cache import CachedEvaluator, EvaluationCache
 from repro.surf.parallel import ParallelBatchEvaluator
@@ -29,6 +30,7 @@ __all__ = [
     "SearchResult",
     "RandomSearch",
     "ExhaustiveSearch",
+    "SeparableExhaustiveSearch",
     "BatchEvaluator",
     "ConfigurationEvaluator",
     "EvalOutcome",

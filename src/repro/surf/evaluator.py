@@ -13,7 +13,11 @@ the :class:`BatchEvaluator` protocol (``evaluate_one`` is pure; batch
 bookkeeping happens once per batch on the driver thread):
 
 ``ConfigurationEvaluator``
-    The base layer: scores one point on the performance model.
+    The base layer: scores one point on the performance model — or, when
+    per-variant :class:`~repro.gpusim.timing_table.ProgramTimingTable`\\ s
+    are supplied, by table lookup (bitwise identical to the model; the
+    scalar path remains the fallback for configurations outside the
+    tables).
 ``CachedEvaluator`` (:mod:`repro.surf.cache`)
     Memoizes scores across runs, optionally persisted to a JSONL store.
 ``ParallelBatchEvaluator`` (:mod:`repro.surf.parallel`)
@@ -27,6 +31,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.gpusim.perfmodel import GPUPerformanceModel
+from repro.gpusim.timing_table import ProgramTimingTable
 from repro.tcr.program import TCRProgram
 from repro.tcr.space import ProgramConfig
 from repro.util.rng import spawn_rng
@@ -148,6 +153,14 @@ class ConfigurationEvaluator(BatchEvaluator):
         How many concurrent empirical evaluations the rig supports (the
         paper evaluates each SURF batch "in parallel"); affects only the
         simulated wall-clock accounting, not the results.
+    tables:
+        Optional per-variant timing tables (indexed like ``programs`` by
+        ``config.variant_index``; entries may be None).  When a table
+        covers a configuration it is scored by O(#kernels) lookup instead
+        of re-running the model — results are identical by construction
+        (the tables reproduce ``program_timing`` bitwise, and noise is
+        applied on top from the same per-configuration rng substream).
+        Configurations a table cannot index fall back to the scalar path.
     """
 
     def __init__(
@@ -158,6 +171,7 @@ class ConfigurationEvaluator(BatchEvaluator):
         noisy: bool = True,
         include_transfer: bool = True,
         batch_parallelism: int = 1,
+        tables: Sequence[ProgramTimingTable | None] | None = None,
     ) -> None:
         self.programs = list(programs)
         self.model = model
@@ -165,6 +179,7 @@ class ConfigurationEvaluator(BatchEvaluator):
         self.noisy = noisy
         self.include_transfer = include_transfer
         self.batch_parallelism = max(1, batch_parallelism)
+        self.tables = list(tables) if tables is not None else None
         self.evaluation_count = 0
         self.cache_hits = 0
         self.simulated_wall_seconds = 0.0
@@ -176,20 +191,56 @@ class ConfigurationEvaluator(BatchEvaluator):
     def program_for(self, config: ProgramConfig) -> TCRProgram:
         return self.programs[config.variant_index]
 
+    def _table_for(self, config: ProgramConfig) -> ProgramTimingTable | None:
+        if self.tables is None:
+            return None
+        if not 0 <= config.variant_index < len(self.tables):
+            return None
+        return self.tables[config.variant_index]
+
+    def _measure_rng(self, config: ProgramConfig):
+        return spawn_rng(
+            self.seed, "measure", config.variant_index, config.global_id,
+            config.describe(),
+        )
+
     def evaluate_one(self, config: ProgramConfig) -> EvalOutcome:
         """Score one configuration; pure (no evaluator state is touched)."""
+        table = self._table_for(config)
+        if table is not None:
+            try:
+                ids = table.lookup(config)
+            except ConfigurationError:
+                ids = None  # not covered by the table: scalar fallback
+            if ids is not None:
+                kernel_s = table.kernel_seconds(ids)
+                if kernel_s == float("inf"):
+                    # The scalar path would fail in build_launch/occupancy
+                    # (only invalid entries are infinite).
+                    return EvalOutcome(
+                        config=config,
+                        value=PENALTY_SECONDS,
+                        wall=self.model.cal.compile_seconds,
+                    )
+                total_s = (table.h2d_s + kernel_s) + table.d2h_s
+                cal = self.model.cal
+                wall = cal.compile_seconds + min(
+                    cal.repetitions * total_s, cal.measure_cap_seconds
+                )
+                value = total_s if self.include_transfer else kernel_s
+                if self.noisy:
+                    value = self.model.noisy_measurement(
+                        value, self._measure_rng(config)
+                    )
+                return EvalOutcome(config=config, value=value, wall=wall)
         program = self.program_for(config)
         try:
-            rng = (
-                spawn_rng(self.seed, "measure", config.variant_index, config.global_id,
-                          config.describe())
-                if self.noisy
-                else None
+            timing = self.model.program_timing(program, config)
+            rng = self._measure_rng(config) if self.noisy else None
+            value = self.model.value_from_timing(
+                timing, rng=rng, include_transfer=self.include_transfer
             )
-            value = self.model.evaluate(
-                program, config, rng=rng, include_transfer=self.include_transfer
-            )
-            wall = self.model.evaluation_wall_seconds(program, config)
+            wall = self.model.wall_from_timing(timing)
         except ConfigurationError:
             value = PENALTY_SECONDS
             wall = self.model.cal.compile_seconds  # it failed at build time

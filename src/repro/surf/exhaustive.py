@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
-import numpy as np
-
 from repro.errors import SearchError
 from repro.surf.search import SearchResult
 from repro.surf.telemetry import SearchTelemetry
@@ -45,16 +43,17 @@ class ExhaustiveSearch:
             telemetry = SearchTelemetry()
         stop = len(pool) if self.limit is None else min(self.limit, len(pool))
         history: list[tuple[ProgramConfig, float]] = []
+        best_i = 0
+        best_y = float("inf")
         for start in range(0, stop, self.batch_size):
             configs = list(pool[start : min(start + self.batch_size, stop)])
             for cfg, y in zip(configs, evaluate_batch(configs)):
-                history.append((cfg, float(y)))
-            telemetry.record_batch(
-                batch_size=len(configs),
-                best_so_far=min(y for _c, y in history),
-            )
-        ys = np.array([y for _c, y in history])
-        best_i = int(np.argmin(ys))
+                y = float(y)
+                if y < best_y:  # strict: first occurrence wins, like argmin
+                    best_y = y
+                    best_i = len(history)
+                history.append((cfg, y))
+            telemetry.record_batch(batch_size=len(configs), best_so_far=best_y)
         return SearchResult(
             searcher=self.name,
             best_config=history[best_i][0],

@@ -304,8 +304,48 @@ class TuningSpace:
     def sample_pool(self, count: int, rng: np.random.Generator) -> list[ProgramConfig]:
         return [self.config_at(g) for g in self.sample_ids(count, rng)]
 
+    def global_id_for(self, variant_pos: int, local_index: int) -> int:
+        """Global id of ``local_index`` within the ``variant_pos``-th space."""
+        ps = self.program_spaces[variant_pos]
+        if not 0 <= local_index < ps.size():
+            raise ConfigurationError(
+                f"local index {local_index} outside program space of size "
+                f"{ps.size()}"
+            )
+        return self._offsets[variant_pos] + local_index
+
     def enumerate_all(self, limit: int | None = None) -> Iterator[ProgramConfig]:
-        """Yield every point (optionally capped) — for brute-force baselines."""
+        """Yield every point (optionally capped) — for brute-force baselines.
+
+        Enumeration order matches ``config_at(0..size()-1)`` exactly, but the
+        kernel tuple is advanced like an odometer (last kernel fastest), so
+        each point costs one digit increment instead of a binary search plus
+        a full mixed-radix decode.
+        """
         stop = self._total if limit is None else min(limit, self._total)
-        for g in range(stop):
-            yield self.config_at(g)
+        emitted = 0
+        for pos, ps in enumerate(self.program_spaces):
+            if emitted >= stop:
+                return
+            if ps.size() == 0:
+                continue
+            spaces = ps.kernel_spaces
+            digits = [0] * len(spaces)
+            kernels = [ks[0] for ks in spaces]
+            offset = self._offsets[pos]
+            for local in range(ps.size()):
+                yield ProgramConfig(
+                    variant_index=ps.variant_index,
+                    kernels=tuple(kernels),
+                    global_id=offset + local,
+                )
+                emitted += 1
+                if emitted >= stop:
+                    return
+                for k in range(len(spaces) - 1, -1, -1):
+                    digits[k] += 1
+                    if digits[k] < len(spaces[k]):
+                        kernels[k] = spaces[k][digits[k]]
+                        break
+                    digits[k] = 0
+                    kernels[k] = spaces[k][0]

@@ -23,7 +23,7 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["stable_hash", "stable_uniform", "spawn_rng"]
+__all__ = ["stable_hash", "stable_uniform", "spawn_rng", "StableHashPrefix"]
 
 
 def _encode(part: Any) -> bytes:
@@ -70,6 +70,35 @@ def stable_hash(*parts: Any) -> int:
 def stable_uniform(*parts: Any) -> float:
     """Deterministic uniform float in ``[0, 1)`` keyed by ``parts``."""
     return stable_hash(*parts) / 2**64
+
+
+class StableHashPrefix:
+    """Reusable hash state over a constant key prefix.
+
+    ``StableHashPrefix(*prefix).hash(*suffix)`` returns exactly
+    ``stable_hash(*prefix, *suffix)`` (the BLAKE2b state after absorbing
+    the prefix is copied per call), but encodes and absorbs the prefix
+    only once.  Used by bulk paths — e.g. precomputing the performance
+    model's per-configuration wobble for a whole kernel space — where the
+    key differs only in its last part.
+    """
+
+    def __init__(self, *prefix: Any) -> None:
+        h = hashlib.blake2b(digest_size=8)
+        for part in prefix:
+            h.update(_encode(part))
+            h.update(b"\x00")
+        self._state = h
+
+    def hash(self, *suffix: Any) -> int:
+        h = self._state.copy()
+        for part in suffix:
+            h.update(_encode(part))
+            h.update(b"\x00")
+        return int.from_bytes(h.digest(), "little")
+
+    def uniform(self, *suffix: Any) -> float:
+        return self.hash(*suffix) / 2**64
 
 
 def spawn_rng(seed: int, *parts: Any) -> np.random.Generator:

@@ -1,0 +1,427 @@
+"""Timing tables, the evaluator fast path, and the separable sweep.
+
+The contract under test is *exact* parity: every number the vectorized
+layer produces must be bitwise equal to the scalar model's — not close,
+equal — so the fast paths can replace the scalar paths anywhere without
+changing a single search decision.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.tensor import TensorRef
+from repro.errors import ConfigurationError
+from repro.gpusim.arch import C2050, GTX980, K20
+from repro.gpusim.kernel import build_launch, build_launch_cached
+from repro.gpusim.perfmodel import GPUPerformanceModel
+from repro.gpusim.timing_table import KernelTimingTable, ProgramTimingTable
+from repro.surf.evaluator import PENALTY_SECONDS, ConfigurationEvaluator
+from repro.surf.exhaustive import ExhaustiveSearch
+from repro.surf.separable import SeparableExhaustiveSearch
+from repro.surf.telemetry import SearchTelemetry
+from repro.tcr.decision import decide_search_space
+from repro.tcr.program import TCROperation, TCRProgram
+from repro.tcr.space import TuningSpace
+from repro.util.rng import StableHashPrefix, stable_hash
+
+
+def _chain_program(dims: dict[str, int]) -> TCRProgram:
+    """Two chained matmul-style operations (shared temporary)."""
+    return TCRProgram(
+        name="chain",
+        dims=dims,
+        arrays={
+            "A": ("i", "j"),
+            "B": ("j", "k"),
+            "C": ("k", "l"),
+            "temp1": ("i", "k"),
+            "Y": ("i", "l"),
+        },
+        operations=[
+            TCROperation(
+                TensorRef("temp1", ("i", "k")),
+                (TensorRef("A", ("i", "j")), TensorRef("B", ("j", "k"))),
+            ),
+            TCROperation(
+                TensorRef("Y", ("i", "l")),
+                (TensorRef("temp1", ("i", "k")), TensorRef("C", ("k", "l"))),
+            ),
+        ],
+    )
+
+
+def _two_red_program(dims: dict[str, int]) -> TCRProgram:
+    """One operation with two reduction loops of different extents."""
+    return TCRProgram(
+        name="tworeds",
+        dims=dims,
+        arrays={"X": ("i", "j", "k"), "W": ("j", "k"), "Z": ("i",)},
+        operations=[
+            TCROperation(
+                TensorRef("Z", ("i",)),
+                (TensorRef("X", ("i", "j", "k")), TensorRef("W", ("j", "k"))),
+            )
+        ],
+    )
+
+
+def _big_elemwise() -> TCRProgram:
+    """Three parallel loops with extents making some thread mappings
+    exceed 1024 threads/block (e.g. tx=k, ty=j -> 64*64 threads) while
+    others stay legal — a mixed valid/penalty space."""
+    return TCRProgram(
+        name="bigelem",
+        dims={"i": 4, "j": 64, "k": 64},
+        arrays={"X": ("i", "j", "k"), "W": ("k",), "Y": ("i", "j", "k")},
+        operations=[
+            TCROperation(
+                TensorRef("Y", ("i", "j", "k")),
+                (TensorRef("X", ("i", "j", "k")), TensorRef("W", ("k",))),
+            )
+        ],
+    )
+
+
+class TestKernelTableParity:
+    """Table entries are bitwise equal to the scalar ``kernel_timing``."""
+
+    @pytest.mark.parametrize("arch", [GTX980, K20, C2050], ids=lambda a: a.name)
+    @pytest.mark.parametrize("permute", [False, True])
+    def test_bitwise_equal_across_spaces(self, arch, permute):
+        programs = [
+            _chain_program({"i": 4, "j": 4, "k": 4, "l": 4}),
+            _chain_program({"i": 16, "j": 8, "k": 24, "l": 2}),
+            # Heterogeneous reduction extents: with permuted serial orders
+            # some in-space unroll factors exceed the rotated inner trip,
+            # so validity handling is exercised too.
+            _two_red_program({"i": 4, "j": 2, "k": 8}),
+        ]
+        model = GPUPerformanceModel(arch)
+        checked_invalid = 0
+        for program in programs:
+            space = decide_search_space(program, permute_serial=permute)
+            for op, ks in zip(program.operations, space.kernel_spaces):
+                table = KernelTimingTable.build(model, op, tuple(ks), program.dims)
+                for i, cfg in enumerate(ks):
+                    try:
+                        ref = model.kernel_timing(build_launch(op, cfg, program.dims))
+                    except ConfigurationError:
+                        assert not table.valid[i]
+                        assert table.totals[i] == float("inf")
+                        checked_invalid += 1
+                        continue
+                    assert table.valid[i]
+                    assert table.totals[i] == ref.total_s
+                    assert table.compute_s[i] == ref.compute_s
+                    assert table.memory_s[i] == ref.memory_s
+                    assert table.utilization[i] == ref.utilization
+                    assert table.occupancy[i] == ref.occupancy
+        if permute:
+            assert checked_invalid > 0, "expected some unbuildable configs"
+
+    def test_penalty_configs_from_oversized_blocks(self):
+        program = _big_elemwise()
+        model = GPUPerformanceModel(GTX980)
+        space = decide_search_space(program)
+        op, ks = program.operations[0], space.kernel_spaces[0]
+        table = KernelTimingTable.build(model, op, tuple(ks), program.dims)
+        invalid = int((~table.valid).sum())
+        assert invalid > 0, "tx=k, ty=j mappings should exceed 1024 threads"
+        for i, cfg in enumerate(ks):
+            try:
+                model.kernel_timing(build_launch(op, cfg, program.dims))
+                buildable = True
+            except ConfigurationError:
+                buildable = False
+            assert buildable == bool(table.valid[i])
+
+
+class TestProgramTableParity:
+    def test_lookup_matches_program_timing(self, two_op_program):
+        model = GPUPerformanceModel(GTX980)
+        space = decide_search_space(two_op_program)
+        table = ProgramTimingTable.build(model, two_op_program, space)
+        for g in range(space.size()):
+            cfg = space.config_at(g)
+            ids = table.lookup(cfg)
+            timing = model.program_timing(two_op_program, cfg)
+            assert table.total_seconds(ids) == timing.total_s
+            assert table.total_seconds(ids, include_transfer=False) == timing.kernel_s
+            assert table.evaluation_wall(ids) == model.evaluation_wall_seconds(
+                two_op_program, cfg
+            )
+
+    def test_full_totals_matches_per_point_lookup(self, two_op_program):
+        model = GPUPerformanceModel(K20)
+        space = decide_search_space(two_op_program, permute_serial=True)
+        table = ProgramTimingTable.build(model, two_op_program, space)
+        for include in (True, False):
+            swept = table.full_totals(include_transfer=include)
+            assert len(swept) == space.size()
+            for g in range(space.size()):
+                ids = table.lookup(space.config_at(g))
+                assert swept[g] == table.total_seconds(ids, include_transfer=include)
+
+    def test_argmin_matches_enumeration(self, two_op_program):
+        model = GPUPerformanceModel(GTX980)
+        space = decide_search_space(two_op_program, permute_serial=True)
+        table = ProgramTimingTable.build(model, two_op_program, space)
+        swept = table.full_totals()
+        ids, val = table.argmin()
+        assert table.local_index(ids) == int(np.argmin(swept))
+        assert val == float(np.min(swept))
+
+    def test_pickle_roundtrip_preserves_lookups(self, two_op_program):
+        model = GPUPerformanceModel(GTX980)
+        space = decide_search_space(two_op_program)
+        table = ProgramTimingTable.build(model, two_op_program, space)
+        cfg = space.config_at(3)
+        _ = table.lookup(cfg)  # populate the identity maps before pickling
+        clone = pickle.loads(pickle.dumps(table))
+        # Cached identity maps must not cross the pickle boundary (their
+        # keys are process-local object addresses).
+        assert "_identity_maps" not in clone.__dict__
+        assert clone.lookup(cfg) == table.lookup(cfg)
+        assert clone.total_seconds(clone.lookup(cfg)) == table.total_seconds(
+            table.lookup(cfg)
+        )
+
+
+class TestEvaluatorFastPath:
+    @pytest.mark.parametrize("noisy", [False, True])
+    @pytest.mark.parametrize("include_transfer", [False, True])
+    def test_bitwise_equal_to_scalar_path(self, noisy, include_transfer):
+        program = _two_red_program({"i": 4, "j": 2, "k": 8})
+        model = GPUPerformanceModel(GTX980)
+        space = decide_search_space(program, permute_serial=True)
+        tuning = TuningSpace([space])
+        table = ProgramTimingTable.build(model, program, space)
+        kwargs = dict(seed=11, noisy=noisy, include_transfer=include_transfer)
+        scalar = ConfigurationEvaluator([program], model, **kwargs)
+        fast = ConfigurationEvaluator([program], model, tables=[table], **kwargs)
+        for cfg in tuning.enumerate_all():
+            a = scalar.evaluate_one(cfg)
+            b = fast.evaluate_one(cfg)
+            assert a.value == b.value
+            assert a.wall == b.wall
+
+    def test_penalty_parity(self):
+        program = _big_elemwise()
+        model = GPUPerformanceModel(GTX980)
+        space = decide_search_space(program)
+        table = ProgramTimingTable.build(model, program, space)
+        scalar = ConfigurationEvaluator([program], model, noisy=False)
+        fast = ConfigurationEvaluator([program], model, noisy=False, tables=[table])
+        hit_penalty = 0
+        for g in range(space.size()):
+            cfg = space.config_at(g)
+            a = scalar.evaluate_one(cfg)
+            b = fast.evaluate_one(cfg)
+            assert a.value == b.value
+            assert a.wall == b.wall
+            if a.value == PENALTY_SECONDS:
+                hit_penalty += 1
+                assert a.wall == model.cal.compile_seconds
+        assert hit_penalty > 0
+
+    def test_batch_api_and_wall_accounting_match(self, two_op_program):
+        model = GPUPerformanceModel(GTX980)
+        space = decide_search_space(two_op_program)
+        tuning = TuningSpace([space])
+        pool = list(tuning.enumerate_all())
+        table = ProgramTimingTable.build(model, two_op_program, space)
+        scalar = ConfigurationEvaluator([two_op_program], model, seed=3)
+        fast = ConfigurationEvaluator([two_op_program], model, seed=3, tables=[table])
+        assert scalar.evaluate_batch(pool) == fast.evaluate_batch(pool)
+        assert scalar.simulated_wall_seconds == fast.simulated_wall_seconds
+        assert scalar.evaluation_count == fast.evaluation_count
+
+
+class TestSeparableSearch:
+    def _tuning_setup(self, programs, permute=(False, True)):
+        model = GPUPerformanceModel(GTX980)
+        spaces = [
+            decide_search_space(p, variant_index=i, permute_serial=permute[i])
+            for i, p in enumerate(programs)
+        ]
+        tuning = TuningSpace(spaces)
+        tables = [
+            ProgramTimingTable.build(model, p, s)
+            for p, s in zip(programs, spaces)
+        ]
+        return model, spaces, tuning, tables
+
+    @pytest.mark.parametrize("full_sweep", [False, True])
+    def test_matches_exhaustive_on_enumerable_space(
+        self, two_op_program, full_sweep
+    ):
+        programs = [two_op_program, two_op_program]
+        model, _spaces, tuning, tables = self._tuning_setup(programs)
+        pool = list(tuning.enumerate_all())
+        evaluator = ConfigurationEvaluator(programs, model, noisy=False)
+        exhaustive = ExhaustiveSearch(batch_size=16).search(
+            pool, evaluator.evaluate_batch
+        )
+        separable = SeparableExhaustiveSearch(
+            tables, tuning_space=tuning, full_sweep=full_sweep
+        ).search()
+        assert separable.best_objective == exhaustive.best_objective
+        # Same winning point, including the dense global id (ProgramConfig
+        # equality covers variant, kernel tuple, and global_id).
+        assert separable.best_config == exhaustive.best_config
+        assert separable.evaluations == sum(t.kernel_evaluations for t in tables)
+        assert separable.evaluations < len(pool) * len(tables[0].kernels)
+
+    def test_matches_exhaustive_with_penalties(self):
+        program = _big_elemwise()
+        model = GPUPerformanceModel(GTX980)
+        space = decide_search_space(program)
+        tuning = TuningSpace([space])
+        table = ProgramTimingTable.build(model, program, space)
+        pool = list(tuning.enumerate_all())
+        evaluator = ConfigurationEvaluator([program], model, noisy=False)
+        exhaustive = ExhaustiveSearch(batch_size=32).search(
+            pool, evaluator.evaluate_batch
+        )
+        separable = SeparableExhaustiveSearch([table], tuning_space=tuning).search()
+        assert separable.best_objective == exhaustive.best_objective
+        assert separable.best_config == exhaustive.best_config
+
+    def test_include_transfer_false(self, two_op_program):
+        programs = [two_op_program]
+        model = GPUPerformanceModel(GTX980)
+        space = decide_search_space(two_op_program, variant_index=0)
+        tuning = TuningSpace([space])
+        table = ProgramTimingTable.build(model, two_op_program, space)
+        pool = list(tuning.enumerate_all())
+        evaluator = ConfigurationEvaluator(
+            programs, model, noisy=False, include_transfer=False
+        )
+        exhaustive = ExhaustiveSearch(batch_size=8).search(
+            pool, evaluator.evaluate_batch
+        )
+        separable = SeparableExhaustiveSearch(
+            [table], include_transfer=False, tuning_space=tuning
+        ).search()
+        assert separable.best_objective == exhaustive.best_objective
+        assert separable.best_config == exhaustive.best_config
+
+    def test_telemetry_shape(self, two_op_program):
+        programs = [two_op_program, two_op_program]
+        _model, _spaces, tuning, tables = self._tuning_setup(programs)
+        telemetry = SearchTelemetry()
+        result = SeparableExhaustiveSearch(tables, tuning_space=tuning).search(
+            telemetry=telemetry
+        )
+        assert result.telemetry is telemetry
+        assert len(telemetry.records) == len(tables)
+        bests = [r.best_so_far for r in telemetry.records]
+        assert bests == sorted(bests, reverse=True) or len(set(bests)) <= 2
+        assert telemetry.records[-1].best_so_far == result.best_objective
+        assert result.simulated_wall_seconds > 0
+        assert len(result.history) == len(tables)
+
+
+class TestEnumerateAllOdometer:
+    def test_matches_config_at(self, two_op_program):
+        spaces = [
+            decide_search_space(two_op_program, variant_index=0),
+            decide_search_space(two_op_program, variant_index=1, permute_serial=True),
+        ]
+        tuning = TuningSpace(spaces)
+        expected = [tuning.config_at(g) for g in range(tuning.size())]
+        assert list(tuning.enumerate_all()) == expected
+
+    def test_limit(self, two_op_program):
+        tuning = TuningSpace([decide_search_space(two_op_program)])
+        n = tuning.size()
+        assert len(list(tuning.enumerate_all(limit=5))) == 5
+        assert len(list(tuning.enumerate_all(limit=n + 10))) == n
+        assert list(tuning.enumerate_all(limit=0)) == []
+
+    def test_global_id_for(self, two_op_program):
+        spaces = [
+            decide_search_space(two_op_program, variant_index=0),
+            decide_search_space(two_op_program, variant_index=1),
+        ]
+        tuning = TuningSpace(spaces)
+        for pos, space in enumerate(spaces):
+            for local in (0, space.size() - 1):
+                g = tuning.global_id_for(pos, local)
+                cfg = tuning.config_at(g)
+                assert cfg.variant_index == space.variant_index
+                assert cfg.global_id == g
+        with pytest.raises(ConfigurationError):
+            tuning.global_id_for(0, spaces[0].size())
+
+
+class TestRunningBestExhaustive:
+    def test_best_and_telemetry(self, two_op_program):
+        model = GPUPerformanceModel(GTX980)
+        tuning = TuningSpace([decide_search_space(two_op_program)])
+        pool = list(tuning.enumerate_all())
+        evaluator = ConfigurationEvaluator([two_op_program], model, noisy=False)
+        telemetry = SearchTelemetry()
+        result = ExhaustiveSearch(batch_size=3).search(
+            pool, evaluator.evaluate_batch, telemetry=telemetry
+        )
+        values = [y for _c, y in result.history]
+        best_i = int(np.argmin(values))
+        assert result.best_objective == values[best_i]
+        assert result.best_config == result.history[best_i][0]
+        # per-batch best_so_far is the true running minimum
+        running = []
+        best = float("inf")
+        for start in range(0, len(pool), 3):
+            best = min(best, *values[start : start + 3])
+            running.append(best)
+        assert [r.best_so_far for r in telemetry.records] == running
+
+
+class TestBuildLaunchCached:
+    def test_equal_and_memoized(self, two_op_program):
+        op = two_op_program.operations[0]
+        space = decide_search_space(two_op_program).kernel_spaces[0]
+        cfg = space[0]
+        fresh = build_launch(op, cfg, two_op_program.dims)
+        cached = build_launch_cached(op, cfg, two_op_program.dims)
+        assert cached == fresh
+        assert build_launch_cached(op, cfg, two_op_program.dims) is cached
+        # a different dims mapping is a different cache entry
+        other_dims = {k: v * 2 for k, v in two_op_program.dims.items()}
+        other = build_launch_cached(op, cfg, other_dims)
+        assert other is not cached
+        assert other.grid_dim != cached.grid_dim or other.block_dim != cached.block_dim
+
+    def test_invalid_config_still_raises(self):
+        program = _big_elemwise()
+        op = program.operations[0]
+        space = decide_search_space(program).kernel_spaces[0]
+        bad = next(
+            cfg
+            for cfg in space
+            if cfg.tx != "1" and cfg.ty != "1"
+            and program.dims[cfg.tx] * program.dims[cfg.ty] > 1024
+        )
+        # buildable structurally — the launch builds; occupancy rejects it
+        launch = build_launch_cached(op, bad, program.dims)
+        with pytest.raises(ConfigurationError):
+            GPUPerformanceModel(GTX980).occupancy(launch)
+
+
+class TestStableHashPrefix:
+    def test_matches_stable_hash(self):
+        prefix = StableHashPrefix("kernel", "GTX 980", "some op")
+        for suffix in ("a", "unroll=4", ""):
+            assert prefix.hash(suffix) == stable_hash(
+                "kernel", "GTX 980", "some op", suffix
+            )
+        assert StableHashPrefix().hash("x", 1) == stable_hash("x", 1)
+        # reusable: interleaved calls do not corrupt the prefix state
+        a, b = prefix.hash("a"), prefix.hash("b")
+        assert a != b
+        assert prefix.hash("a") == a
