@@ -27,18 +27,21 @@ from repro.gpusim.arch import GPUArch
 from repro.gpusim.calibration import DEFAULT_GPU_CAL, GPUCalibration
 from repro.gpusim.perfmodel import GPUPerformanceModel, ProgramTiming
 from repro.gpusim.timing_table import ProgramTimingTable
-from repro.surf.cache import CachedEvaluator, EvaluationCache
+from repro.surf.cache import CachedEvaluator, EvaluationCache, QuarantineStore
+from repro.surf.checkpoint import CheckpointManager, SearchCheckpointer
 from repro.surf.evaluator import BatchEvaluator, ConfigurationEvaluator
 from repro.surf.exhaustive import ExhaustiveSearch
+from repro.surf.faults import FaultInjectingEvaluator, FaultSpec
 from repro.surf.parallel import ParallelBatchEvaluator
 from repro.surf.random_search import RandomSearch
+from repro.surf.resilience import ResilientEvaluator
 from repro.surf.search import SearchResult, SURFSearch
 from repro.surf.separable import SeparableExhaustiveSearch
 from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.decision import decide_search_space
 from repro.tcr.program import TCRProgram
 from repro.tcr.space import ProgramConfig, TuningSpace
-from repro.util.rng import spawn_rng
+from repro.util.rng import spawn_rng, stable_hash
 
 __all__ = ["TuneResult", "Autotuner"]
 
@@ -157,6 +160,31 @@ class Autotuner:
         With ``searcher="sweep"``, materialize the broadcast-summed
         totals of the entire product space per variant instead of the
         per-kernel argmin (same answer; bounded memory guard applies).
+    faults:
+        Deterministic fault injection (see :mod:`repro.surf.faults`): a
+        :class:`FaultSpec`, a spec string for :meth:`FaultSpec.parse`, or
+        ``None`` (default) to consult ``REPRO_FAULTS`` (empty/unset =
+        none).  Enabling faults automatically enables the resilience
+        layer.
+    max_retries:
+        Transient-failure retry budget of the resilience layer.
+    resilient:
+        Force the :class:`~repro.surf.resilience.ResilientEvaluator`
+        retry/quarantine layer on (True) or off (False); ``None`` enables
+        it exactly when faults are injected or a checkpoint directory is
+        in use.
+    checkpoint_dir:
+        Run directory for fault-tolerant search state: ``state.json``
+        (atomic per-batch search checkpoint) plus the persistent
+        evaluation cache and quarantine set.  See
+        :mod:`repro.surf.checkpoint`.
+    resume:
+        With ``checkpoint_dir``, restore a previous interrupted run's
+        state and continue — bitwise-identical (history and best value)
+        to an uninterrupted run with the same settings.  A fingerprint
+        mismatch (changed seed/space/searcher/budget) raises
+        :class:`~repro.errors.CheckpointError` rather than resuming
+        unsafely; with no state file yet, the run simply starts fresh.
     """
 
     def __init__(
@@ -179,6 +207,11 @@ class Autotuner:
         parallel_executor: str = "thread",
         fast_model: bool | None = None,
         sweep_full: bool = False,
+        faults: FaultSpec | str | None = None,
+        max_retries: int = 2,
+        resilient: bool | None = None,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
     ) -> None:
         """``per_variant=True`` reproduces the paper's OCTOPI flow for
         multi-variant contractions: each algebraic version is autotuned
@@ -211,7 +244,24 @@ class Autotuner:
             fast_model = os.environ.get("REPRO_FAST_MODEL", "") not in ("", "0")
         self.fast_model = bool(fast_model)
         self.sweep_full = sweep_full
+        if faults is None:
+            faults = os.environ.get("REPRO_FAULTS", "")
+        if isinstance(faults, str):
+            faults = FaultSpec.parse(faults, seed=seed)
+        self.faults: FaultSpec = faults
+        self.max_retries = max_retries
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.resume = resume
+        if resilient is None:
+            resilient = self.faults.any() or self.checkpoint_dir is not None
+        self.resilient = bool(resilient)
+        # A checkpointed run persists its evaluation cache in the run
+        # directory (unless the caller pointed the cache elsewhere), so a
+        # resume can serve any work the killed batch already paid for.
+        if self.checkpoint_dir is not None and not self.cache_spec:
+            self.cache_spec = str(CheckpointManager(self.checkpoint_dir).eval_cache_path)
         self._cache_store: EvaluationCache | None = None
+        self._quarantine_store: QuarantineStore | None = None
 
     # ------------------------------------------------------------------
     def _evaluation_cache(self) -> EvaluationCache | None:
@@ -223,12 +273,24 @@ class Autotuner:
             self._cache_store = EvaluationCache(path)
         return self._cache_store
 
+    def _quarantine(self) -> QuarantineStore:
+        """The instance-wide quarantine set (persistent with checkpoints)."""
+        if self._quarantine_store is None:
+            path = (
+                CheckpointManager(self.checkpoint_dir).quarantine_path
+                if self.checkpoint_dir is not None
+                else None
+            )
+            self._quarantine_store = QuarantineStore(path)
+        return self._quarantine_store
+
     def _build_evaluator(
         self,
         programs: list[TCRProgram],
         tables: list[ProgramTimingTable] | None = None,
     ) -> BatchEvaluator:
-        """Stack the evaluation engine: model -> cache -> parallel fan-out."""
+        """Stack the evaluation engine, innermost first:
+        model -> fault injection -> cache -> retry/quarantine -> fan-out."""
         evaluator: BatchEvaluator = ConfigurationEvaluator(
             programs,
             self.model,
@@ -238,9 +300,19 @@ class Autotuner:
             batch_parallelism=self.batch_parallelism,
             tables=tables,
         )
+        if self.faults.any():
+            # Below the cache: a cached result models a rig that is not
+            # re-run, so it cannot fault.
+            evaluator = FaultInjectingEvaluator(evaluator, self.faults)
         store = self._evaluation_cache()
         if store is not None:
             evaluator = CachedEvaluator(evaluator, store)
+        if self.resilient:
+            evaluator = ResilientEvaluator(
+                evaluator,
+                max_retries=self.max_retries,
+                quarantine=self._quarantine(),
+            )
         if self.workers > 1:
             evaluator = ParallelBatchEvaluator(
                 evaluator, workers=self.workers, executor=self.parallel_executor
@@ -262,8 +334,72 @@ class Autotuner:
         """Tune an explicit set of alternative programs (custom variants)."""
         return self._tune(name, programs)
 
+    def _run_fingerprint(
+        self, name: str, pool: list[ProgramConfig], space_size: int
+    ) -> dict:
+        """Identity of a run for checkpoint-resume safety.
+
+        Everything that changes the bitwise course of a search belongs
+        here: resuming under a different fingerprint is refused.
+        """
+        return {
+            "name": name,
+            "arch": self.arch.name,
+            "searcher": self.searcher_kind,
+            "seed": self.seed,
+            "max_evaluations": self.max_evaluations,
+            "batch_size": self.batch_size,
+            "space_size": space_size,
+            "pool": format(
+                stable_hash("pool", [c.describe() for c in pool]), "016x"
+            ),
+            "noisy": self.noisy,
+            "include_transfer": self.include_transfer,
+            "faults": self.faults.describe(),
+            "max_retries": self.max_retries,
+        }
+
+    def _checkpointer(
+        self,
+        checkpoint_dir: Path | None,
+        name: str,
+        pool: list[ProgramConfig],
+        space_size: int,
+        evaluator: BatchEvaluator | None,
+    ) -> SearchCheckpointer | None:
+        """Build the per-run checkpoint handle; load prior state on resume."""
+        if checkpoint_dir is None:
+            return None
+        manager = CheckpointManager(
+            checkpoint_dir, self._run_fingerprint(name, pool, space_size)
+        )
+        checkpointer = SearchCheckpointer(
+            manager,
+            extra=(
+                (lambda: {"evaluator_counters": evaluator.counters()})
+                if evaluator is not None
+                else None
+            ),
+        )
+        if self.resume:
+            payload = manager.load()  # raises CheckpointError on mismatch
+            if payload is not None:
+                checkpointer.resume_state = payload.get("searcher")
+                if evaluator is not None:
+                    evaluator.restore_counters(
+                        payload.get("extra", {}).get("evaluator_counters", {})
+                    )
+        return checkpointer
+
     # ------------------------------------------------------------------
-    def _tune(self, name: str, programs: list[TCRProgram]) -> TuneResult:
+    def _tune(
+        self,
+        name: str,
+        programs: list[TCRProgram],
+        checkpoint_dir: Path | None = None,
+    ) -> TuneResult:
+        if checkpoint_dir is None:
+            checkpoint_dir = self.checkpoint_dir
         if self.per_variant and len(programs) > 1:
             return self._tune_per_variant(name, programs)
         spaces = [
@@ -285,8 +421,13 @@ class Autotuner:
                 full_sweep=self.sweep_full,
                 tuning_space=tuning_space,
             )
-            result = searcher.search(telemetry=SearchTelemetry())
             pool = []
+            checkpointer = self._checkpointer(
+                checkpoint_dir, name, pool, tuning_space.size(), None
+            )
+            result = searcher.search(
+                telemetry=SearchTelemetry(), checkpointer=checkpointer
+            )
         else:
             rng = spawn_rng(self.seed, "pool", name, self.arch.name)
             pool = tuning_space.sample_pool(
@@ -301,11 +442,15 @@ class Autotuner:
                 self.searcher_kind, self.batch_size, self.max_evaluations,
                 self.seed,
             )
+            checkpointer = self._checkpointer(
+                checkpoint_dir, name, pool, tuning_space.size(), evaluator
+            )
             result = searcher.search(
                 pool,
                 evaluator.evaluate_batch,
                 wall_seconds=lambda: evaluator.simulated_wall_seconds,
                 telemetry=SearchTelemetry(counters=evaluator.counters),
+                checkpointer=checkpointer,
             )
         if not self.telemetry:
             result.telemetry = None
@@ -328,7 +473,15 @@ class Autotuner:
         """Autotune every OCTOPI variant independently; champions compete."""
         results: list[TuneResult] = []
         for i, program in enumerate(programs):
-            sub = self._tune(f"{name}_v{i}", [program])
+            # Each variant's search state lives in its own subdirectory;
+            # the quarantine set and eval cache stay at the run root
+            # (they are instance-wide and config-keyed, so sharing is safe).
+            sub_dir = (
+                self.checkpoint_dir / f"v{i}"
+                if self.checkpoint_dir is not None
+                else None
+            )
+            sub = self._tune(f"{name}_v{i}", [program], checkpoint_dir=sub_dir)
             # Re-tag the winning config — and every history entry — with the
             # real variant index: each sub-run sees its program as variant 0,
             # so without re-tagging the merged history would attribute every

@@ -70,6 +70,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", default=None, metavar="PATH",
         help="dump per-batch search telemetry as JSON to PATH ('-' for stdout)",
     )
+    tune.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject deterministic evaluation faults: a bare probability "
+        "('0.15') or 'compile=..,launch=..,transient=..,worker=..' "
+        "(default: $REPRO_FAULTS or none); enables the retry/quarantine "
+        "resilience layer",
+    )
+    tune.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="transient-failure retry budget of the resilience layer",
+    )
+    tune.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist search state (atomic per-batch checkpoint + eval "
+        "cache + quarantine set) under DIR for kill-safe resumption",
+    )
+    tune.add_argument(
+        "--resume", action="store_true",
+        help="with --checkpoint-dir: restore an interrupted run's state "
+        "and finish bitwise-identical to an uninterrupted run",
+    )
 
     variants = sub.add_parser("variants", help="show OCTOPI variants for a DSL input")
     variants.add_argument("dsl", help="DSL file path or inline statement")
@@ -136,6 +157,10 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         cache=cache,
         workers=args.workers,
         fast_model=args.fast_model,
+        faults=args.faults,
+        max_retries=args.retries,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     result = workload.tune(tuner)
     print(result.summary())
@@ -149,6 +174,21 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             f"{totals['cache_hits']} cache hits, "
             f"surrogate fit {totals['fit_seconds']:.2f}s"
         )
+        failures = {
+            key: int(totals.get(key, 0))
+            for key in ("invalid", "transient", "permanent", "retries",
+                        "quarantined", "pool_rebuilds")
+        }
+        if any(failures.values()):
+            print(
+                "failures: "
+                f"{failures['invalid']} invalid, "
+                f"{failures['transient']} transient, "
+                f"{failures['permanent']} permanent, "
+                f"{failures['retries']} retries, "
+                f"{failures['quarantined']} quarantined, "
+                f"{failures['pool_rebuilds']} pool rebuilds"
+            )
         if args.telemetry:
             payload = result.search.telemetry.to_json()
             if args.telemetry == "-":

@@ -18,9 +18,12 @@ from repro.surf.random_search import RandomSearch
 from repro.surf.exhaustive import ExhaustiveSearch
 from repro.surf.separable import SeparableExhaustiveSearch
 from repro.surf.evaluator import BatchEvaluator, ConfigurationEvaluator, EvalOutcome
-from repro.surf.cache import CachedEvaluator, EvaluationCache
+from repro.surf.cache import CachedEvaluator, EvaluationCache, QuarantineStore
 from repro.surf.parallel import ParallelBatchEvaluator
 from repro.surf.telemetry import BatchRecord, SearchTelemetry
+from repro.surf.faults import FaultInjectingEvaluator, FaultSpec
+from repro.surf.resilience import ResilientEvaluator
+from repro.surf.checkpoint import CheckpointManager, SearchCheckpointer
 
 __all__ = [
     "FeatureBinarizer",
@@ -36,7 +39,13 @@ __all__ = [
     "EvalOutcome",
     "CachedEvaluator",
     "EvaluationCache",
+    "QuarantineStore",
     "ParallelBatchEvaluator",
     "BatchRecord",
     "SearchTelemetry",
+    "FaultSpec",
+    "FaultInjectingEvaluator",
+    "ResilientEvaluator",
+    "CheckpointManager",
+    "SearchCheckpointer",
 ]

@@ -30,7 +30,7 @@ from repro.surf.evaluator import BatchEvaluator, ConfigurationEvaluator, EvalOut
 from repro.tcr.space import ProgramConfig
 from repro.util.rng import stable_hash
 
-__all__ = ["EvaluationCache", "CachedEvaluator"]
+__all__ = ["EvaluationCache", "CachedEvaluator", "QuarantineStore"]
 
 #: Cache-entry keys: (arch, context fingerprint, program fingerprint, config).
 CacheKey = tuple[str, str, str, str]
@@ -38,6 +38,12 @@ CacheKey = tuple[str, str, str, str]
 
 class EvaluationCache:
     """In-memory map of evaluated configurations, optionally JSONL-backed.
+
+    Entries store ``(value, wall, status)`` — ``status`` distinguishes a
+    real measurement (``"ok"``) from a deterministically-unbuildable point
+    (``"invalid"``), so negative results are memoized too and are never
+    re-dispatched to the rig.  (Transient/permanent *rig* failures are
+    deliberately not cacheable — see ``CachedEvaluator.record_outcome``.)
 
     Parameters
     ----------
@@ -48,7 +54,7 @@ class EvaluationCache:
     """
 
     def __init__(self, path: str | Path | None = None) -> None:
-        self._memory: dict[CacheKey, tuple[float, float]] = {}
+        self._memory: dict[CacheKey, tuple[float, float, str]] = {}
         self.path = Path(path) if path is not None else None
         self.corrupt_lines = 0
         if self.path is not None and self.path.exists():
@@ -65,12 +71,13 @@ class EvaluationCache:
                     key = tuple(entry["key"])
                     value = float(entry["value"])
                     wall = float(entry["wall"])
+                    status = str(entry.get("status", "ok"))
                     if len(key) != 4 or not all(isinstance(p, str) for p in key):
                         raise ValueError("malformed key")
                 except (ValueError, KeyError, TypeError):
                     self.corrupt_lines += 1
                     continue
-                self._memory[key] = (value, wall)
+                self._memory[key] = (value, wall, status)
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -78,20 +85,102 @@ class EvaluationCache:
     def __contains__(self, key: CacheKey) -> bool:
         return key in self._memory
 
-    def get(self, key: CacheKey) -> tuple[float, float] | None:
-        """Return ``(value, wall)`` for ``key``, or None on a miss."""
+    def get(self, key: CacheKey) -> tuple[float, float, str] | None:
+        """Return ``(value, wall, status)`` for ``key``, or None on a miss."""
         return self._memory.get(key)
 
-    def put(self, key: CacheKey, value: float, wall: float) -> None:
+    def put(self, key: CacheKey, value: float, wall: float, status: str = "ok") -> None:
         """Record one evaluation; idempotent (first write wins)."""
         if key in self._memory:
             return
-        self._memory[key] = (value, wall)
+        self._memory[key] = (value, wall, status)
         if self.path is not None:
-            entry = {"key": list(key), "value": value, "wall": wall}
+            entry = {"key": list(key), "value": value, "wall": wall, "status": status}
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with self.path.open("a", encoding="utf-8") as handle:
                 handle.write(json.dumps(entry) + "\n")
+
+
+class QuarantineStore:
+    """Persistent set of permanently-failed configuration fingerprints.
+
+    The resilience layer adds a fingerprint (``config.describe()``, which
+    covers the variant index and every kernel parameter) the first time a
+    configuration fails permanently; quarantined points are served an
+    instant ``+inf`` outcome and never dispatched to the rig again — in
+    this run or, with a JSONL path (kept alongside the eval cache in a
+    checkpoint directory), any later run.  Same append-only, corruption-
+    tolerant on-disk discipline as :class:`EvaluationCache`.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._reasons: dict[str, str] = {}
+        self.path = Path(path) if path is not None else None
+        self.corrupt_lines = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        with self.path.open("r", encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                try:
+                    entry = json.loads(line)
+                    fingerprint = entry["fingerprint"]
+                    reason = str(entry.get("reason", ""))
+                    if not isinstance(fingerprint, str):
+                        raise ValueError("malformed fingerprint")
+                except (ValueError, KeyError, TypeError):
+                    self.corrupt_lines += 1
+                    continue
+                self._reasons.setdefault(fingerprint, reason)
+
+    def __len__(self) -> int:
+        return len(self._reasons)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._reasons
+
+    def reason(self, fingerprint: str) -> str | None:
+        return self._reasons.get(fingerprint)
+
+    def entries(self) -> dict[str, str]:
+        """Fingerprint → reason map (a copy; for tooling/telemetry)."""
+        return dict(self._reasons)
+
+    def add(self, fingerprint: str, reason: str) -> None:
+        """Quarantine one fingerprint; idempotent (first reason wins)."""
+        if fingerprint in self._reasons:
+            return
+        self._reasons[fingerprint] = reason
+        if self.path is not None:
+            entry = {"fingerprint": fingerprint, "reason": reason}
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry) + "\n")
+
+
+def _base_evaluator(evaluator: BatchEvaluator) -> ConfigurationEvaluator:
+    """Walk the wrapper chain to the base :class:`ConfigurationEvaluator`.
+
+    The cache may sit above a fault-injection layer; cache keys are about
+    the *objective* (arch, calibration, program, config), which only the
+    base evaluator knows.  Injected faults never alter an ``ok`` outcome,
+    so entries remain valid across differing fault specs.
+    """
+    seen = 0
+    inner = evaluator
+    while inner is not None and seen < 16:
+        if isinstance(inner, ConfigurationEvaluator):
+            return inner
+        inner = getattr(inner, "inner", None)
+        seen += 1
+    raise TypeError(
+        "CachedEvaluator needs a ConfigurationEvaluator at the base of its "
+        f"wrapper chain; got {type(evaluator).__name__}"
+    )
 
 
 def _context_fingerprint(inner: ConfigurationEvaluator) -> str:
@@ -120,12 +209,14 @@ class CachedEvaluator(BatchEvaluator):
     """
 
     def __init__(
-        self, inner: ConfigurationEvaluator, cache: EvaluationCache | None = None
+        self, inner: BatchEvaluator, cache: EvaluationCache | None = None
     ) -> None:
         self.inner = inner
         self.cache = cache if cache is not None else EvaluationCache()
-        self._arch_name = inner.model.arch.name
-        self._context = _context_fingerprint(inner)
+        base = _base_evaluator(inner)
+        self._base = base
+        self._arch_name = base.model.arch.name
+        self._context = _context_fingerprint(base)
         self._program_fps: dict[int, str] = {}
         self.evaluation_count = 0
         self.cache_hits = 0
@@ -138,21 +229,35 @@ class CachedEvaluator(BatchEvaluator):
     def key_for(self, config: ProgramConfig) -> CacheKey:
         fp = self._program_fps.get(config.variant_index)
         if fp is None:
-            program = self.inner.program_for(config)
+            program = self._base.program_for(config)
             fp = format(stable_hash("program", program.to_text()), "016x")
             self._program_fps[config.variant_index] = fp
         return (self._arch_name, self._context, fp, config.describe())
 
     def evaluate_one(self, config: ProgramConfig) -> EvalOutcome:
+        return self.evaluate_attempt(config, 0)
+
+    def evaluate_attempt(self, config: ProgramConfig, attempt: int) -> EvalOutcome:
         hit = self.cache.get(self.key_for(config))
         if hit is not None:
-            value, wall = hit
-            return EvalOutcome(config=config, value=value, wall=wall, cached=True)
-        return self.inner.evaluate_one(config)
+            value, wall, status = hit
+            return EvalOutcome(
+                config=config, value=value, wall=wall, cached=True, status=status
+            )
+        return self.inner.evaluate_attempt(config, attempt)
 
     def record_outcome(self, outcome: EvalOutcome) -> None:
         # Insertion happens here, on the driver thread, rather than inside
         # evaluate_one: that keeps evaluate_one pure (parallel- and
         # process-safe) and serializes JSONL appends without a lock.
-        if not outcome.cached:
-            self.cache.put(self.key_for(outcome.config), outcome.value, outcome.wall)
+        # Only deterministic outcomes are cacheable: ``ok`` measurements and
+        # ``invalid`` (unbuildable) points.  Rig failures are not properties
+        # of the configuration — permanent ones go to the quarantine store,
+        # transient ones should simply be retried next time.
+        if not outcome.cached and outcome.status in ("ok", "invalid"):
+            self.cache.put(
+                self.key_for(outcome.config),
+                outcome.value,
+                outcome.wall,
+                outcome.status,
+            )

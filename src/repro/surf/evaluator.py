@@ -41,6 +41,7 @@ __all__ = [
     "BatchEvaluator",
     "EvalOutcome",
     "PENALTY_SECONDS",
+    "EVAL_STATUSES",
 ]
 
 #: Objective assigned to configurations the backend cannot build (e.g. a
@@ -48,21 +49,45 @@ __all__ = [
 #: search learns to avoid the region, but finite so surrogate fitting works.
 PENALTY_SECONDS = 10.0
 
+#: The outcome taxonomy, in increasing order of badness:
+#: ``ok`` — a real measurement; ``invalid`` — the configuration is illegal
+#: (deterministic, scored at :data:`PENALTY_SECONDS`); ``transient`` — the
+#: rig failed repeatedly on a retryable hazard and gave up; ``permanent`` —
+#: the rig can never evaluate this point (compile/launch failure).  The
+#: last two score ``+inf`` and are clamped out of surrogate training.
+EVAL_STATUSES = ("ok", "invalid", "transient", "permanent")
+
+#: ``EvalOutcome.detail`` value marking a table-miss that fell back to the
+#: scalar model (counted in telemetry; the measurement itself is ``ok``).
+TABLE_FALLBACK = "table-fallback"
+
 
 @dataclass(frozen=True)
 class EvalOutcome:
     """Result of scoring one configuration.
 
     ``wall`` is the simulated wall-clock cost of *performing* the
-    evaluation on the real rig (compile + repetitions); ``cached`` marks
-    outcomes served from a :class:`~repro.surf.cache.CachedEvaluator`
-    without touching the model.
+    evaluation on the real rig (compile + repetitions — for failed
+    attempts, everything the rig burned before giving up, retry backoff
+    included); ``cached`` marks outcomes served from a
+    :class:`~repro.surf.cache.CachedEvaluator` (or the quarantine set)
+    without touching the model.  ``status`` is one of
+    :data:`EVAL_STATUSES`; ``attempts`` counts dispatches consumed
+    (1 = no retries).
     """
 
     config: ProgramConfig
     value: float
     wall: float
     cached: bool = False
+    status: str = "ok"
+    detail: str = ""
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        """True for outcomes that produced no usable measurement."""
+        return self.status in ("transient", "permanent")
 
 
 class BatchEvaluator:
@@ -85,6 +110,11 @@ class BatchEvaluator:
     evaluation_count: int = 0
     cache_hits: int = 0
     simulated_wall_seconds: float = 0.0
+    invalid_count: int = 0
+    transient_count: int = 0
+    permanent_count: int = 0
+    retry_count: int = 0
+    table_fallback_count: int = 0
 
     @property
     def batch_lanes(self) -> int:
@@ -93,6 +123,18 @@ class BatchEvaluator:
 
     def evaluate_one(self, config: ProgramConfig) -> EvalOutcome:
         raise NotImplementedError
+
+    def evaluate_attempt(self, config: ProgramConfig, attempt: int) -> EvalOutcome:
+        """Attempt-aware scoring hook used by the resilience layer.
+
+        ``attempt`` is the zero-based retry index for this configuration.
+        The base evaluators ignore it (the model is deterministic);
+        :class:`~repro.surf.faults.FaultInjectingEvaluator` keys transient
+        hazards on it so retries can deterministically succeed or fail.
+        Wrappers must forward it down the stack.
+        """
+        del attempt
+        return self.evaluate_one(config)
 
     def _run_batch(self, configs: Sequence[ProgramConfig]) -> list[EvalOutcome]:
         return [self.evaluate_one(c) for c in configs]
@@ -118,19 +160,64 @@ class BatchEvaluator:
         misses = sum(1 for o in outcomes if not o.cached)
         self.evaluation_count += misses
         self.cache_hits += len(outcomes) - misses
+        for o in outcomes:
+            if o.status == "invalid":
+                self.invalid_count += 1
+            elif o.status == "transient":
+                self.transient_count += 1
+            elif o.status == "permanent":
+                self.permanent_count += 1
+            if o.detail == TABLE_FALLBACK:
+                self.table_fallback_count += 1
+            self.retry_count += max(0, o.attempts - 1)
         lanes = [0.0] * min(self.batch_lanes, len(outcomes))
         for o in outcomes:
             slot = min(range(len(lanes)), key=lanes.__getitem__)
             lanes[slot] += o.wall
         self.simulated_wall_seconds += max(lanes)
 
+    def extra_counters(self) -> dict[str, float]:
+        """Counters owned by inner layers (e.g. the quarantine gauge).
+
+        Tallying happens once, at the top of the evaluator stack, but some
+        state (quarantine size, pool rebuilds) lives in wrapped layers;
+        this hook lets it surface through however many wrappers sit above.
+        """
+        inner = getattr(self, "inner", None)
+        if isinstance(inner, BatchEvaluator):
+            return inner.extra_counters()
+        return {}
+
     def counters(self) -> dict[str, float]:
         """Monotone counters for telemetry deltas (see ``SearchTelemetry``)."""
-        return {
+        out = {
             "evaluations": self.evaluation_count,
             "cache_hits": self.cache_hits,
             "simulated_wall_seconds": self.simulated_wall_seconds,
+            "invalid": self.invalid_count,
+            "transient": self.transient_count,
+            "permanent": self.permanent_count,
+            "retries": self.retry_count,
+            "table_fallbacks": self.table_fallback_count,
         }
+        out.update(self.extra_counters())
+        return out
+
+    def restore_counters(self, saved: dict[str, float]) -> None:
+        """Reset the bookkeeping to a checkpointed ``counters()`` snapshot.
+
+        Only the counters this layer owns are restored; gauges surfaced via
+        :meth:`extra_counters` (quarantine size, …) are rebuilt from their
+        own persistent stores on resume.
+        """
+        self.evaluation_count = int(saved.get("evaluations", 0))
+        self.cache_hits = int(saved.get("cache_hits", 0))
+        self.simulated_wall_seconds = float(saved.get("simulated_wall_seconds", 0.0))
+        self.invalid_count = int(saved.get("invalid", 0))
+        self.transient_count = int(saved.get("transient", 0))
+        self.permanent_count = int(saved.get("permanent", 0))
+        self.retry_count = int(saved.get("retries", 0))
+        self.table_fallback_count = int(saved.get("table_fallbacks", 0))
 
 
 class ConfigurationEvaluator(BatchEvaluator):
@@ -207,11 +294,16 @@ class ConfigurationEvaluator(BatchEvaluator):
     def evaluate_one(self, config: ProgramConfig) -> EvalOutcome:
         """Score one configuration; pure (no evaluator state is touched)."""
         table = self._table_for(config)
+        fallback = False
         if table is not None:
             try:
                 ids = table.lookup(config)
             except ConfigurationError:
-                ids = None  # not covered by the table: scalar fallback
+                # Not covered by the table: scalar fallback below.  Counted
+                # (``table_fallbacks``) so coverage gaps are visible instead
+                # of silently degrading to the slow path.
+                ids = None
+                fallback = True
             if ids is not None:
                 kernel_s = table.kernel_seconds(ids)
                 if kernel_s == float("inf"):
@@ -221,6 +313,8 @@ class ConfigurationEvaluator(BatchEvaluator):
                         config=config,
                         value=PENALTY_SECONDS,
                         wall=self.model.cal.compile_seconds,
+                        status="invalid",
+                        detail="table: unbuildable configuration",
                     )
                 total_s = (table.h2d_s + kernel_s) + table.d2h_s
                 cal = self.model.cal
@@ -241,7 +335,21 @@ class ConfigurationEvaluator(BatchEvaluator):
                 timing, rng=rng, include_transfer=self.include_transfer
             )
             wall = self.model.wall_from_timing(timing)
-        except ConfigurationError:
-            value = PENALTY_SECONDS
-            wall = self.model.cal.compile_seconds  # it failed at build time
-        return EvalOutcome(config=config, value=value, wall=wall)
+        except ConfigurationError as exc:
+            # The configuration is deterministically unbuildable: record it
+            # as an ``invalid`` outcome (counted in telemetry, cached by
+            # CachedEvaluator so it is never re-evaluated) rather than
+            # swallowing the error into an anonymous penalty score.
+            return EvalOutcome(
+                config=config,
+                value=PENALTY_SECONDS,
+                wall=self.model.cal.compile_seconds,  # it failed at build time
+                status="invalid",
+                detail=f"build failed: {exc}",
+            )
+        return EvalOutcome(
+            config=config,
+            value=value,
+            wall=wall,
+            detail=TABLE_FALLBACK if fallback else "",
+        )

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
-from repro.errors import SearchError
+from repro.errors import CheckpointError, SearchError
+from repro.surf.checkpoint import SearchCheckpointer
 from repro.surf.search import SearchResult
 from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.space import ProgramConfig
@@ -20,7 +21,13 @@ __all__ = ["ExhaustiveSearch"]
 
 
 class ExhaustiveSearch:
-    """Evaluate every configuration in the pool (up to ``limit``)."""
+    """Evaluate every configuration in the pool (up to ``limit``).
+
+    Failure-tolerant by construction: failed evaluations enter the history
+    as ``+inf`` and can never displace a finite best (strict ``<``).
+    With a checkpointer, state is saved per batch and an interrupted scan
+    resumes at the first unevaluated index.
+    """
 
     name = "exhaustive"
 
@@ -36,6 +43,7 @@ class ExhaustiveSearch:
         evaluate_batch: Callable[[Sequence[ProgramConfig]], list[float]],
         wall_seconds: Callable[[], float] | None = None,
         telemetry: SearchTelemetry | None = None,
+        checkpointer: SearchCheckpointer | None = None,
     ) -> SearchResult:
         if not pool:
             raise SearchError("configuration pool is empty")
@@ -45,7 +53,21 @@ class ExhaustiveSearch:
         history: list[tuple[ProgramConfig, float]] = []
         best_i = 0
         best_y = float("inf")
-        for start in range(0, stop, self.batch_size):
+        first = 0
+        state = checkpointer.resume_state if checkpointer is not None else None
+        if state is not None:
+            if state.get("searcher") != self.name:
+                raise CheckpointError(
+                    f"checkpoint belongs to searcher {state.get('searcher')!r}, "
+                    f"cannot resume with {self.name!r}"
+                )
+            for i, y in state["history"]:
+                history.append((pool[int(i)], float(y)))
+            best_i = int(state["best_i"])
+            best_y = float(state["best_y"])
+            first = len(history)
+            telemetry.restore_state(state["telemetry"])
+        for start in range(first, stop, self.batch_size):
             configs = list(pool[start : min(start + self.batch_size, stop)])
             for cfg, y in zip(configs, evaluate_batch(configs)):
                 y = float(y)
@@ -54,6 +76,16 @@ class ExhaustiveSearch:
                     best_i = len(history)
                 history.append((cfg, y))
             telemetry.record_batch(batch_size=len(configs), best_so_far=best_y)
+            if checkpointer is not None:
+                checkpointer.save(
+                    {
+                        "searcher": self.name,
+                        "history": [[i, y] for i, (_c, y) in enumerate(history)],
+                        "best_i": best_i,
+                        "best_y": best_y,
+                        "telemetry": telemetry.snapshot_state(),
+                    }
+                )
         return SearchResult(
             searcher=self.name,
             best_config=history[best_i][0],

@@ -12,14 +12,25 @@ and ``Executor.map`` returns results in submission order.
 All bookkeeping (counters, cache insertion, simulated wall accounting)
 stays on the driver thread in ``BatchEvaluator.evaluate_batch``; workers
 only run the pure ``evaluate_one``.
+
+Fault tolerance: a dead worker *process* (real, or injected by
+:class:`~repro.surf.faults.FaultInjectingEvaluator`) breaks the whole
+``ProcessPoolExecutor`` — every in-flight future raises
+``BrokenProcessPool``.  ``_run_batch`` survives this: it rebuilds the
+pool and re-dispatches exactly the configurations that never completed.
+Rebuilt pools run with injected real-death downgraded to a raised
+(retryable) error — mirroring a rig that moves retried work to a safe
+node — so a config whose death-draw fired cannot kill replacement pools
+forever.  Because ``evaluate_one`` is pure, re-dispatched work returns
+bitwise the same outcomes it would have produced in the first pool.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 
-from repro.errors import SearchError
+from repro.errors import EvaluationFailure, SearchError
 from repro.surf.evaluator import BatchEvaluator, EvalOutcome
 from repro.tcr.space import ProgramConfig
 
@@ -49,12 +60,15 @@ class ParallelBatchEvaluator(BatchEvaluator):
         inner: BatchEvaluator,
         workers: int = 4,
         executor: str = "thread",
+        max_pool_rebuilds: int = 8,
     ) -> None:
         if executor not in ("thread", "process"):
             raise SearchError(f"unknown executor {executor!r} (thread|process)")
         self.inner = inner
         self.workers = max(1, int(workers))
         self.executor = executor
+        self.max_pool_rebuilds = max(0, int(max_pool_rebuilds))
+        self.pool_rebuilds = 0
         self.evaluation_count = 0
         self.cache_hits = 0
         self.simulated_wall_seconds = 0.0
@@ -69,11 +83,59 @@ class ParallelBatchEvaluator(BatchEvaluator):
     def record_outcome(self, outcome: EvalOutcome) -> None:
         self.inner.record_outcome(outcome)
 
+    def extra_counters(self) -> dict[str, float]:
+        out = dict(super().extra_counters())
+        out["pool_rebuilds"] = float(self.pool_rebuilds)
+        return out
+
     def _run_batch(self, configs: Sequence[ProgramConfig]) -> list[EvalOutcome]:
         if self.workers == 1 or len(configs) <= 1:
             return [self.evaluate_one(c) for c in configs]
         pool_cls = (
             ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
         )
-        with pool_cls(max_workers=min(self.workers, len(configs))) as pool:
-            return list(pool.map(self.inner.evaluate_one, configs))
+        results: dict[int, EvalOutcome] = {}
+        pending = list(range(len(configs)))
+        rebuilds = 0
+        initializer = None
+        while pending:
+            kwargs = {}
+            if initializer is not None and self.executor == "process":
+                kwargs["initializer"] = initializer
+            with pool_cls(
+                max_workers=min(self.workers, len(pending)), **kwargs
+            ) as pool:
+                futures = [
+                    (i, pool.submit(self.inner.evaluate_one, configs[i]))
+                    for i in pending
+                ]
+                broken = False
+                for i, future in futures:
+                    try:
+                        results[i] = future.result()
+                    except BrokenExecutor:
+                        # A worker died; the pool is unusable and every
+                        # still-pending future fails the same way.  Collect
+                        # what completed and fall through to a rebuild.
+                        broken = True
+                        break
+                if not broken:
+                    break
+            pending = [i for i in pending if i not in results]
+            if not pending:
+                break
+            rebuilds += 1
+            self.pool_rebuilds += 1
+            if rebuilds > self.max_pool_rebuilds:
+                raise EvaluationFailure(
+                    f"worker pool broke {rebuilds} times in one batch "
+                    f"({len(pending)} configurations still in flight)",
+                    stage="dispatch",
+                )
+            # Re-dispatch survivors with injected hard-death downgraded to a
+            # raised transient error (see repro.surf.faults): the real-world
+            # analog of moving retried work off a flaky node.
+            from repro.surf.faults import disable_real_death
+
+            initializer = disable_real_death
+        return [results[i] for i in range(len(configs))]

@@ -11,7 +11,8 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
-from repro.errors import SearchError
+from repro.errors import CheckpointError, SearchError
+from repro.surf.checkpoint import SearchCheckpointer, rng_state, set_rng_state
 from repro.surf.search import SearchResult
 from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.space import ProgramConfig
@@ -21,7 +22,14 @@ __all__ = ["RandomSearch"]
 
 
 class RandomSearch:
-    """Uniformly sample ``max_evaluations`` distinct pool points."""
+    """Uniformly sample ``max_evaluations`` distinct pool points.
+
+    Failed evaluations (``+inf``) do not consume the budget: once the
+    initial draw is exhausted, replacement points are drawn from the
+    not-yet-chosen remainder until ``nmax`` useful observations are in (or
+    the pool runs dry).  With no failures the draws — and hence the whole
+    run — are bitwise identical to the failure-oblivious sampler.
+    """
 
     name = "random"
 
@@ -40,6 +48,7 @@ class RandomSearch:
         evaluate_batch: Callable[[Sequence[ProgramConfig]], list[float]],
         wall_seconds: Callable[[], float] | None = None,
         telemetry: SearchTelemetry | None = None,
+        checkpointer: SearchCheckpointer | None = None,
     ) -> SearchResult:
         if not pool:
             raise SearchError("configuration pool is empty")
@@ -47,17 +56,66 @@ class RandomSearch:
             telemetry = SearchTelemetry()
         rng = spawn_rng(self.seed, "random-driver")
         nmax = min(self.max_evaluations, len(pool))
-        chosen = rng.choice(len(pool), size=nmax, replace=False).tolist()
+        queue: list[int] = []
         history: list[tuple[ProgramConfig, float]] = []
-        for start in range(0, nmax, self.batch_size):
-            ids = chosen[start : start + self.batch_size]
+        hist_ids: list[int] = []
+        useful = 0
+        state = checkpointer.resume_state if checkpointer is not None else None
+        if state is not None:
+            if state.get("searcher") != self.name:
+                raise CheckpointError(
+                    f"checkpoint belongs to searcher {state.get('searcher')!r}, "
+                    f"cannot resume with {self.name!r}"
+                )
+            for i, y in state["history"]:
+                i, y = int(i), float(y)
+                history.append((pool[i], y))
+                hist_ids.append(i)
+                if np.isfinite(y):
+                    useful += 1
+            queue = [int(i) for i in state["queue"]]
+            set_rng_state(rng, state["rng_state"])
+            telemetry.restore_state(state["telemetry"])
+        else:
+            queue = rng.choice(len(pool), size=nmax, replace=False).tolist()
+        while useful < nmax:
+            if not queue:
+                # Replenish: failures burned part of the draw — top it up
+                # from the untouched remainder of the pool.
+                seen = set(hist_ids)
+                leftovers = [i for i in range(len(pool)) if i not in seen]
+                if not leftovers:
+                    break
+                pick = rng.choice(
+                    len(leftovers), size=min(nmax - useful, len(leftovers)),
+                    replace=False,
+                )
+                queue = [leftovers[i] for i in pick.tolist()]
+            ids = queue[: min(self.batch_size, nmax - useful)]
+            queue = queue[len(ids):]
             configs = [pool[i] for i in ids]
-            for cfg, y in zip(configs, evaluate_batch(configs)):
-                history.append((cfg, float(y)))
+            for i, (cfg, y) in enumerate(zip(configs, evaluate_batch(configs))):
+                y = float(y)
+                history.append((cfg, y))
+                hist_ids.append(ids[i])
+                if np.isfinite(y):
+                    useful += 1
             telemetry.record_batch(
                 batch_size=len(configs),
                 best_so_far=min(y for _c, y in history),
             )
+            if checkpointer is not None:
+                checkpointer.save(
+                    {
+                        "searcher": self.name,
+                        "history": [
+                            [i, y] for i, (_c, y) in zip(hist_ids, history)
+                        ],
+                        "queue": list(queue),
+                        "rng_state": rng_state(rng),
+                        "telemetry": telemetry.snapshot_state(),
+                    }
+                )
         ys = np.array([y for _c, y in history])
         best_i = int(np.argmin(ys))
         return SearchResult(

@@ -18,6 +18,16 @@
 The surrogate is the extremely-randomized-trees ensemble over binarized
 features.  Determinism: sampling, tree fitting and tie-breaking all run on
 seeded substreams.
+
+Fault tolerance (see :mod:`repro.surf.resilience`): failed evaluations
+come back as ``+inf`` observations.  They enter the history (the search
+*learned* the point is bad) but are clamped to the penalty value before
+surrogate training so an infinite target cannot poison the forest, and
+they do not consume the evaluation budget — each batch's failures are
+replenished from the pool on later iterations, so ``nmax`` still buys
+``nmax`` *useful* evaluations (until the pool runs dry).  With no
+failures, the behavior — including every rng draw — is bitwise identical
+to the failure-oblivious algorithm.
 """
 
 from __future__ import annotations
@@ -28,14 +38,26 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import SearchError
+from repro.errors import CheckpointError, SearchError
 from repro.surf.binarize import FeatureBinarizer, OrdinalEncoder
+from repro.surf.checkpoint import SearchCheckpointer, rng_state, set_rng_state
+from repro.surf.evaluator import PENALTY_SECONDS
 from repro.surf.forest import ExtraTreesRegressor
 from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.space import ProgramConfig
 from repro.util.rng import spawn_rng
 
-__all__ = ["SearchResult", "SURFSearch"]
+__all__ = ["SearchResult", "SURFSearch", "clamp_targets"]
+
+
+def clamp_targets(y: np.ndarray) -> np.ndarray:
+    """Make failure observations (``+inf``) safe for surrogate training.
+
+    Failed evaluations are clamped to the invalid-configuration penalty:
+    the model still learns the region is bad, but the fit is not destroyed
+    by infinities (and, under ``log_objective``, the target stays finite).
+    """
+    return np.where(np.isfinite(y), y, PENALTY_SECONDS)
 
 
 @dataclass
@@ -116,8 +138,15 @@ class SURFSearch:
         evaluate_batch: Callable[[Sequence[ProgramConfig]], list[float]],
         wall_seconds: Callable[[], float] | None = None,
         telemetry: SearchTelemetry | None = None,
+        checkpointer: SearchCheckpointer | None = None,
     ) -> SearchResult:
-        """Run Algorithm 2 over ``pool`` with the given batch evaluator."""
+        """Run Algorithm 2 over ``pool`` with the given batch evaluator.
+
+        With a ``checkpointer``, the full driver state is persisted after
+        every completed batch, and a prior state (same run fingerprint) is
+        restored before the first — the continued run is bitwise identical
+        to one that was never interrupted.
+        """
         if not pool:
             raise SearchError("configuration pool is empty")
         if telemetry is None:
@@ -129,28 +158,34 @@ class SURFSearch:
         remaining = list(range(len(pool)))
         nmax = min(self.max_evaluations, len(pool))
 
-        # Initialization: random batch.
-        first = min(self.batch_size, nmax)
-        pick = rng.choice(len(remaining), size=first, replace=False)
-        batch_ids = [remaining[i] for i in sorted(pick.tolist())]
-        remaining = [i for i in remaining if i not in set(batch_ids)]
-
         history: list[tuple[ProgramConfig, float]] = []
+        hist_ids: list[int] = []
         X_out: list[np.ndarray] = []
         y_out: list[float] = []
+        useful = 0  # finite observations — what the nmax budget buys
+        model = ExtraTreesRegressor(
+            n_estimators=self.n_estimators,
+            max_depth=self.max_depth,
+            seed=self.seed,
+        )
 
         def run_batch(ids: list[int]) -> None:
+            nonlocal useful
             configs = [pool[i] for i in ids]
             ys = evaluate_batch(configs)
             if len(ys) != len(configs):
                 raise SearchError("evaluator returned a mismatched batch")
             for i, y in zip(ids, ys):
-                history.append((pool[i], float(y)))
+                y = float(y)
+                history.append((pool[i], y))
+                hist_ids.append(i)
                 X_out.append(X_all[i])
-                y_out.append(float(y))
+                y_out.append(y)
+                if np.isfinite(y):
+                    useful += 1
 
         def targets() -> np.ndarray:
-            y = np.array(y_out)
+            y = clamp_targets(np.array(y_out))
             return np.log(np.maximum(y, 1e-12)) if self.log_objective else y
 
         def refit(model) -> float:
@@ -158,19 +193,63 @@ class SURFSearch:
             model.fit(np.stack(X_out), targets())
             return time.perf_counter() - start
 
-        run_batch(batch_ids)
-        model = ExtraTreesRegressor(
-            n_estimators=self.n_estimators,
-            max_depth=self.max_depth,
-            seed=self.seed,
-        )
-        fit_s = refit(model)
-        telemetry.record_batch(
-            batch_size=len(batch_ids), best_so_far=min(y_out), fit_seconds=fit_s
-        )
+        def save_checkpoint() -> None:
+            if checkpointer is None:
+                return
+            checkpointer.save(
+                {
+                    "searcher": self.name,
+                    "history": [[i, y] for i, y in zip(hist_ids, y_out)],
+                    "remaining": list(remaining),
+                    "useful": useful,
+                    "rng_state": rng_state(rng),
+                    "fits": model._fit_count,
+                    "telemetry": telemetry.snapshot_state(),
+                }
+            )
 
-        while len(history) < nmax and remaining:
-            bs = min(self.batch_size, nmax - len(history), len(remaining))
+        state = checkpointer.resume_state if checkpointer is not None else None
+        if state is not None:
+            if state.get("searcher") != self.name:
+                raise CheckpointError(
+                    f"checkpoint belongs to searcher {state.get('searcher')!r}, "
+                    f"cannot resume with {self.name!r}"
+                )
+            for i, y in state["history"]:
+                i, y = int(i), float(y)
+                history.append((pool[i], y))
+                hist_ids.append(i)
+                X_out.append(X_all[i])
+                y_out.append(y)
+                if np.isfinite(y):
+                    useful += 1
+            remaining = [int(i) for i in state["remaining"]]
+            set_rng_state(rng, state["rng_state"])
+            telemetry.restore_state(state["telemetry"])
+            # Rebuild the surrogate the interrupted run was holding: rewind
+            # the refit counter and refit on the restored (X, y) — each tree
+            # re-derives the same substreams, so the forest (and every
+            # prediction the continuation makes) is bitwise identical.
+            model._fit_count = max(0, int(state["fits"]) - 1)
+            if X_out:
+                refit(model)
+        else:
+            # Initialization: random batch.
+            first = min(self.batch_size, nmax)
+            pick = rng.choice(len(remaining), size=first, replace=False)
+            batch_ids = [remaining[i] for i in sorted(pick.tolist())]
+            remaining = [i for i in remaining if i not in set(batch_ids)]
+            run_batch(batch_ids)
+            fit_s = refit(model)
+            telemetry.record_batch(
+                batch_size=len(batch_ids),
+                best_so_far=min(y_out),
+                fit_seconds=fit_s,
+            )
+            save_checkpoint()
+
+        while useful < nmax and remaining:
+            bs = min(self.batch_size, nmax - useful, len(remaining))
             n_explore = min(int(round(bs * self.explore_fraction)), bs - 1)
             preds = model.predict(X_all[remaining])
             # Select the best-predicted configurations; jitter breaks ties
@@ -188,6 +267,7 @@ class SURFSearch:
             telemetry.record_batch(
                 batch_size=len(batch_ids), best_so_far=min(y_out), fit_seconds=fit_s
             )
+            save_checkpoint()
 
         best_i = int(np.argmin(y_out))
         return SearchResult(

@@ -40,6 +40,13 @@ class BatchRecord:
     fit_seconds: float
     #: cumulative simulated rig wall-clock after this batch
     simulated_wall_seconds: float
+    #: per-status failure accounting for this batch (see EVAL_STATUSES):
+    #: deterministically-unbuildable points, retry-exhausted transient
+    #: failures, permanent rig failures, and transient retries consumed
+    invalid: int = 0
+    transient: int = 0
+    permanent: int = 0
+    retries: int = 0
 
 
 class SearchTelemetry:
@@ -69,12 +76,18 @@ class SearchTelemetry:
     ) -> BatchRecord:
         """Append the record for the batch that just finished evaluating."""
         now = self._snapshot()
+
+        def delta(key: str) -> int:
+            return int(now.get(key, 0) - self._last.get(key, 0))
+
         if now:
-            evals = int(now.get("evaluations", 0) - self._last.get("evaluations", 0))
-            hits = int(now.get("cache_hits", 0) - self._last.get("cache_hits", 0))
+            evals = delta("evaluations")
+            hits = delta("cache_hits")
             wall = float(now.get("simulated_wall_seconds", 0.0))
+            statuses = {k: delta(k) for k in ("invalid", "transient", "permanent", "retries")}
         else:
             evals, hits, wall = batch_size, 0, 0.0
+            statuses = {}
         self._last = now
         record = BatchRecord(
             batch_index=len(self.records),
@@ -84,6 +97,7 @@ class SearchTelemetry:
             best_so_far=float(best_so_far),
             fit_seconds=float(fit_seconds),
             simulated_wall_seconds=wall,
+            **statuses,
         )
         self.records.append(record)
         return record
@@ -103,10 +117,33 @@ class SearchTelemetry:
             "simulated_wall_seconds": max(
                 (r.simulated_wall_seconds for r in self.records), default=0.0
             ),
+            "invalid": sum(r.invalid for r in self.records),
+            "transient": sum(r.transient for r in self.records),
+            "permanent": sum(r.permanent for r in self.records),
+            "retries": sum(r.retries for r in self.records),
+            # Gauges from the evaluator stack's latest counter snapshot
+            # (monotone; not meaningful as per-batch deltas).
+            "quarantined": float(self._last.get("quarantined", 0)),
+            "pool_rebuilds": float(self._last.get("pool_rebuilds", 0)),
         }
 
     def as_dicts(self) -> list[dict[str, float]]:
         return [asdict(r) for r in self.records]
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, object]:
+        """Checkpointable state: the records plus the counter snapshot."""
+        return {"records": self.as_dicts(), "last": dict(self._last)}
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Restore :meth:`snapshot_state` output (for search resume).
+
+        The counter snapshot is restored as saved, so the first delta after
+        resume is computed against the same baseline the interrupted run
+        would have used.
+        """
+        self.records = [BatchRecord(**r) for r in state.get("records", [])]
+        self._last = {k: float(v) for k, v in dict(state.get("last", {})).items()}
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(
@@ -120,6 +157,10 @@ class SearchTelemetry:
         for part in parts:
             if part is None:
                 continue
+            for key in ("quarantined", "pool_rebuilds"):
+                out._last[key] = max(
+                    out._last.get(key, 0.0), float(part._last.get(key, 0.0))
+                )
             base_wall = max(
                 (r.simulated_wall_seconds for r in out.records), default=0.0
             )
@@ -134,6 +175,10 @@ class SearchTelemetry:
                         fit_seconds=record.fit_seconds,
                         simulated_wall_seconds=base_wall
                         + record.simulated_wall_seconds,
+                        invalid=record.invalid,
+                        transient=record.transient,
+                        permanent=record.permanent,
+                        retries=record.retries,
                     )
                 )
         return out
