@@ -17,6 +17,7 @@ Reproduces the Fig. 1 flow end to end:
 from __future__ import annotations
 
 import os
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -27,6 +28,9 @@ from repro.gpusim.arch import GPUArch
 from repro.gpusim.calibration import DEFAULT_GPU_CAL, GPUCalibration
 from repro.gpusim.perfmodel import GPUPerformanceModel, ProgramTiming
 from repro.gpusim.timing_table import ProgramTimingTable
+from repro.obs.exporters import write_chrome_trace
+from repro.obs.manifest import MANIFEST_FILENAME, RunManifest, fingerprint_of
+from repro.obs.tracer import Tracer, get_tracer, use_tracer
 from repro.surf.cache import CachedEvaluator, EvaluationCache, QuarantineStore
 from repro.surf.checkpoint import CheckpointManager, SearchCheckpointer
 from repro.surf.evaluator import BatchEvaluator, ConfigurationEvaluator
@@ -185,6 +189,13 @@ class Autotuner:
         mismatch (changed seed/space/searcher/budget) raises
         :class:`~repro.errors.CheckpointError` rather than resuming
         unsafely; with no state file yet, the run simply starts fresh.
+    trace:
+        Write a Chrome-trace (Perfetto-loadable) span trace of every
+        ``tune_*`` call to this path, plus a run-provenance
+        ``manifest.json`` next to it (and next to ``checkpoint_dir``
+        when set).  Tracing is pure observability: results are bitwise
+        identical with it on or off, and no wall-clock field enters any
+        fingerprint or checkpoint comparison.
     """
 
     def __init__(
@@ -212,6 +223,7 @@ class Autotuner:
         resilient: bool | None = None,
         checkpoint_dir: str | Path | None = None,
         resume: bool = False,
+        trace: str | Path | None = None,
     ) -> None:
         """``per_variant=True`` reproduces the paper's OCTOPI flow for
         multi-variant contractions: each algebraic version is autotuned
@@ -252,6 +264,7 @@ class Autotuner:
         self.max_retries = max_retries
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.resume = resume
+        self.trace = Path(trace) if trace else None
         if resilient is None:
             resilient = self.faults.any() or self.checkpoint_dir is not None
         self.resilient = bool(resilient)
@@ -320,19 +333,106 @@ class Autotuner:
         return evaluator
 
     # ------------------------------------------------------------------
+    @contextmanager
+    def _observe(self, name: str):
+        """Observation scope of one public ``tune_*`` call.
+
+        With :attr:`trace` set (and no ambient tracer already active —
+        e.g. the CLI installs one around workload loading so DSL-parse
+        spans are captured), a fresh :class:`~repro.obs.tracer.Tracer`
+        becomes ambient for the call; on exit the collected spans are
+        exported as a Chrome trace, even when the run failed.  Without
+        ``trace`` the ambient tracer (no-op by default) is used as-is.
+        """
+        ambient = get_tracer()
+        created = None
+        if self.trace is not None and not ambient.enabled:
+            created = Tracer()
+        tracer = created if created is not None else ambient
+        try:
+            with ExitStack() as stack:
+                if created is not None:
+                    stack.enter_context(use_tracer(created))
+                stack.enter_context(
+                    tracer.span(
+                        "tune.run", category="tune",
+                        workload=name, arch=self.arch.name,
+                        searcher=self.searcher_kind, seed=self.seed,
+                    )
+                )
+                yield tracer
+        finally:
+            if self.trace is not None:
+                write_chrome_trace(tracer.finished(), self.trace)
+
+    def run_manifest(self, name: str, programs: list[TCRProgram]) -> RunManifest:
+        """The provenance manifest of a run over ``programs``."""
+        from repro import __version__
+
+        return RunManifest(
+            name=name,
+            package_version=__version__,
+            arch=self.arch.name,
+            arch_fingerprint=fingerprint_of(self.arch),
+            calibration_fingerprint=fingerprint_of(self.model.cal),
+            dsl_fingerprint=format(
+                stable_hash("dsl", [p.to_text() for p in programs]), "016x"
+            ),
+            seed=self.seed,
+            searcher=self.searcher_kind,
+            settings={
+                "max_evaluations": self.max_evaluations,
+                "batch_size": self.batch_size,
+                "pool_size": self.pool_size,
+                "max_variants": self.max_variants,
+                "noisy": self.noisy,
+                "include_transfer": self.include_transfer,
+                "per_variant": self.per_variant,
+                "batch_parallelism": self.batch_parallelism,
+                "workers": self.workers,
+                "fast_model": self.fast_model,
+                "sweep_full": self.sweep_full,
+                "faults": self.faults.describe(),
+                "max_retries": self.max_retries,
+                "resilient": self.resilient,
+            },
+        )
+
+    def _write_manifests(self, name: str, programs: list[TCRProgram]) -> None:
+        """Write ``manifest.json`` next to the trace and the checkpoints."""
+        destinations = []
+        if self.trace is not None:
+            destinations.append(self.trace.parent / MANIFEST_FILENAME)
+        if self.checkpoint_dir is not None:
+            destinations.append(self.checkpoint_dir / MANIFEST_FILENAME)
+        if not destinations:
+            return
+        manifest = self.run_manifest(name, programs)
+        for path in destinations:
+            manifest.write(path)
+
+    # ------------------------------------------------------------------
     def tune_contraction(self, contraction: Contraction) -> TuneResult:
         """Full pipeline: OCTOPI variants, then search across all of them."""
-        compiled = compile_contraction(contraction, max_variants=self.max_variants)
-        programs = [v.program for v in compiled.variants]
-        return self._tune(contraction.name, programs)
+        with self._observe(contraction.name):
+            compiled = compile_contraction(
+                contraction, max_variants=self.max_variants
+            )
+            programs = [v.program for v in compiled.variants]
+            self._write_manifests(contraction.name, programs)
+            return self._tune(contraction.name, programs)
 
     def tune_program(self, program: TCRProgram) -> TuneResult:
         """Tune a fixed TCR program (single variant)."""
-        return self._tune(program.name, [program])
+        with self._observe(program.name):
+            self._write_manifests(program.name, [program])
+            return self._tune(program.name, [program])
 
     def tune_programs(self, name: str, programs: list[TCRProgram]) -> TuneResult:
         """Tune an explicit set of alternative programs (custom variants)."""
-        return self._tune(name, programs)
+        with self._observe(name):
+            self._write_manifests(name, programs)
+            return self._tune(name, programs)
 
     def _run_fingerprint(
         self, name: str, pool: list[ProgramConfig], space_size: int
@@ -402,16 +502,19 @@ class Autotuner:
             checkpoint_dir = self.checkpoint_dir
         if self.per_variant and len(programs) > 1:
             return self._tune_per_variant(name, programs)
+        tracer = get_tracer()
         spaces = [
             decide_search_space(p, variant_index=i) for i, p in enumerate(programs)
         ]
         tuning_space = TuningSpace(spaces)
         tables = None
         if self.fast_model or self.searcher_kind == "sweep":
-            tables = [
-                ProgramTimingTable.build(self.model, p, s)
-                for p, s in zip(programs, spaces)
-            ]
+            tables = []
+            for p, s in zip(programs, spaces):
+                with tracer.span(
+                    "table.build", category="table", program=p.name
+                ):
+                    tables.append(ProgramTimingTable.build(self.model, p, s))
         if self.searcher_kind == "sweep":
             # The separable sweep reads the tables directly — no pool, no
             # evaluator; it optimizes the noise-free modeled time.
@@ -425,14 +528,21 @@ class Autotuner:
             checkpointer = self._checkpointer(
                 checkpoint_dir, name, pool, tuning_space.size(), None
             )
-            result = searcher.search(
-                telemetry=SearchTelemetry(), checkpointer=checkpointer
-            )
+            with tracer.span(
+                "search.run", category="search",
+                searcher=self.searcher_kind, workload=name,
+            ):
+                result = searcher.search(
+                    telemetry=SearchTelemetry(), checkpointer=checkpointer
+                )
         else:
-            rng = spawn_rng(self.seed, "pool", name, self.arch.name)
-            pool = tuning_space.sample_pool(
-                min(self.pool_size, tuning_space.size()), rng
-            )
+            with tracer.span("space.pool", category="space") as sp:
+                rng = spawn_rng(self.seed, "pool", name, self.arch.name)
+                pool = tuning_space.sample_pool(
+                    min(self.pool_size, tuning_space.size()), rng
+                )
+                if tracer.enabled:
+                    sp.set(pool=len(pool), space=tuning_space.size())
             # Wall-clock accounting defaults to sequential
             # (batch_parallelism=1): the paper's ~4 s/variant search times
             # for Lg3t imply one rig timing one variant at a time, with
@@ -445,13 +555,17 @@ class Autotuner:
             checkpointer = self._checkpointer(
                 checkpoint_dir, name, pool, tuning_space.size(), evaluator
             )
-            result = searcher.search(
-                pool,
-                evaluator.evaluate_batch,
-                wall_seconds=lambda: evaluator.simulated_wall_seconds,
-                telemetry=SearchTelemetry(counters=evaluator.counters),
-                checkpointer=checkpointer,
-            )
+            with tracer.span(
+                "search.run", category="search",
+                searcher=self.searcher_kind, workload=name,
+            ):
+                result = searcher.search(
+                    pool,
+                    evaluator.evaluate_batch,
+                    wall_seconds=lambda: evaluator.simulated_wall_seconds,
+                    telemetry=SearchTelemetry(counters=evaluator.counters),
+                    checkpointer=checkpointer,
+                )
         if not self.telemetry:
             result.telemetry = None
         best = result.best_config
@@ -472,6 +586,7 @@ class Autotuner:
     def _tune_per_variant(self, name: str, programs: list[TCRProgram]) -> TuneResult:
         """Autotune every OCTOPI variant independently; champions compete."""
         results: list[TuneResult] = []
+        tracer = get_tracer()
         for i, program in enumerate(programs):
             # Each variant's search state lives in its own subdirectory;
             # the quarantine set and eval cache stay at the run root
@@ -481,7 +596,8 @@ class Autotuner:
                 if self.checkpoint_dir is not None
                 else None
             )
-            sub = self._tune(f"{name}_v{i}", [program], checkpoint_dir=sub_dir)
+            with tracer.span("tune.variant", category="tune", variant=i):
+                sub = self._tune(f"{name}_v{i}", [program], checkpoint_dir=sub_dir)
             # Re-tag the winning config — and every history entry — with the
             # real variant index: each sub-run sees its program as variant 0,
             # so without re-tagging the merged history would attribute every

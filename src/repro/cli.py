@@ -12,6 +12,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.autotune import Autotuner
@@ -19,6 +20,7 @@ from repro.core.pipeline import compile_contraction, compile_dsl
 from repro.dsl.parser import parse_contraction
 from repro.errors import ReproError
 from repro.gpusim.arch import ALL_GPUS, gpu_by_name
+from repro.obs.tracer import Tracer, get_tracer, use_tracer
 from repro.workloads import get_workload, workload_names
 
 __all__ = ["main", "build_parser"]
@@ -91,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --checkpoint-dir: restore an interrupted run's state "
         "and finish bitwise-identical to an uninterrupted run",
     )
+    tune.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome-trace (Perfetto-loadable) span trace of the "
+        "whole run to FILE, plus a run-provenance manifest.json next to "
+        "it; results are bitwise identical with tracing on or off",
+    )
 
     variants = sub.add_parser("variants", help="show OCTOPI variants for a DSL input")
     variants.add_argument("dsl", help="DSL file path or inline statement")
@@ -138,12 +146,23 @@ def _load_workload(spec: str):
         ) from None
     from repro.workloads.base import Workload
 
+    with get_tracer().span("dsl.parse", category="dsl", source=spec):
+        contraction = parse_contraction(text, name="user")
     return Workload(
-        name=spec, description="user DSL input", contraction=parse_contraction(text, name="user")
+        name=spec, description="user DSL input", contraction=contraction
     )
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
+    if args.trace:
+        # Install the run tracer before workload loading so DSL-parse spans
+        # land in the same trace the Autotuner exports on completion.
+        with use_tracer(Tracer()):
+            return _run_tune(args)
+    return _run_tune(args)
+
+
+def _run_tune(args: argparse.Namespace) -> int:
     workload = _load_workload(args.workload)
     cache = True if args.cache == "mem" else args.cache
     tuner = Autotuner(
@@ -161,6 +180,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         max_retries=args.retries,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        trace=args.trace,
     )
     result = workload.tune(tuner)
     print(result.summary())
@@ -199,6 +219,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                 print(f"telemetry written to {args.telemetry}")
     print("TCR program of the winning variant:")
     print(result.best_program.to_text())
+    if args.trace:
+        print(f"trace written to {args.trace} (manifest.json alongside)")
     return 0
 
 
@@ -207,7 +229,20 @@ def _cmd_variants(args: argparse.Namespace) -> int:
     try:
         with open(spec, encoding="utf-8") as handle:
             text = handle.read()
-    except OSError:
+    except OSError as exc:
+        # Fall back to treating the argument as inline DSL only when it
+        # does not name an existing path: an unreadable *existing* file
+        # (permissions, a directory, ...) must surface its real error, not
+        # a baffling DSL parse error on the file name.
+        if os.path.exists(spec):
+            raise ReproError(f"cannot read DSL file {spec!r}: {exc}") from None
+        if "=" not in spec:
+            # Not a file and syntactically never a DSL statement — almost
+            # certainly a typo'd path; say so instead of parse-erroring.
+            raise ReproError(
+                f"{spec!r} is neither an existing DSL file nor an inline "
+                "DSL statement"
+            ) from None
         text = spec
     for compiled in compile_dsl(text, default_dim=args.default_dim, name="input"):
         print(f"# {compiled.contraction}")

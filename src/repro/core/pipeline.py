@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.core.contraction import Contraction
 from repro.core.fusion import FusionPlan, fusion_plan
 from repro.core.variants import Variant, generate_variants
+from repro.obs.tracer import get_tracer
 
 __all__ = [
     "CompiledContraction",
@@ -48,8 +49,15 @@ def compile_contraction(
     contraction: Contraction, max_variants: int | None = None
 ) -> CompiledContraction:
     """Run OCTOPI on an already-built contraction."""
-    variants = tuple(generate_variants(contraction, max_variants))
-    plans = tuple(fusion_plan(v.program) for v in variants)
+    tracer = get_tracer()
+    with tracer.span(
+        "octopi.variants", category="octopi", contraction=contraction.name
+    ) as sp:
+        variants = tuple(generate_variants(contraction, max_variants))
+        if tracer.enabled:
+            sp.set(variants=len(variants))
+    with tracer.span("octopi.fusion", category="octopi"):
+        plans = tuple(fusion_plan(v.program) for v in variants)
     return CompiledContraction(contraction, variants, plans)
 
 
@@ -64,7 +72,11 @@ def compile_dsl(
     # at module scope would make repro.core and repro.dsl mutually circular.
     from repro.dsl.parser import parse_program
 
-    parsed = parse_program(text, default_dim=default_dim, name=name)
+    tracer = get_tracer()
+    with tracer.span("dsl.parse", category="dsl", source=name) as sp:
+        parsed = parse_program(text, default_dim=default_dim, name=name)
+        if tracer.enabled:
+            sp.set(statements=len(parsed.contractions))
     return [
         compile_contraction(c, max_variants=max_variants)
         for c in parsed.contractions

@@ -1,0 +1,44 @@
+"""Observability: span tracing, trace exporters, and run-provenance manifests.
+
+See :mod:`repro.obs.tracer` for the span model, :mod:`repro.obs.exporters`
+for the Chrome-trace/JSONL file formats, and :mod:`repro.obs.manifest` for
+``manifest.json``.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace_events,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.manifest import (
+    MANIFEST_FILENAME,
+    MANIFEST_FORMAT,
+    RunManifest,
+    fingerprint_of,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "use_tracer",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "RunManifest",
+    "fingerprint_of",
+    "MANIFEST_FORMAT",
+    "MANIFEST_FILENAME",
+]

@@ -1,0 +1,100 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and JSONL.
+
+Two on-disk formats for one in-memory trace:
+
+``write_chrome_trace``
+    The Chrome trace-event format (``{"traceEvents": [...]}``) that
+    ``chrome://tracing`` and https://ui.perfetto.dev load directly.  Spans
+    become complete events (``"ph": "X"`` with microsecond ``ts``/``dur``),
+    instant events become ``"ph": "i"``.  Process/thread ids are remapped
+    to small dense integers in first-seen order so the output does not leak
+    (and does not vary with) real pids — with an injected deterministic
+    clock the whole file is byte-stable, which is what the golden test
+    pins.
+``write_jsonl``
+    One span per line, all fields verbatim (raw pid/tid included) — the
+    append-friendly form for downstream analysis and ``trace_inspect``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.obs.tracer import Span
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+
+def _ordered(spans: Iterable[Span]) -> list[Span]:
+    # Finished-order puts children before parents; start order reads
+    # naturally in viewers and is stable (span ids break exact ties).
+    return sorted(spans, key=lambda s: (s.start_s, s.span_id))
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> list[dict]:
+    """Map spans to Chrome trace-event dicts (timestamps in microseconds)."""
+    ordered = _ordered(spans)
+    pids: dict[int, int] = {}
+    tids: dict[tuple[int, int], int] = {}
+    events: list[dict] = []
+    for span in ordered:
+        pid = pids.setdefault(span.pid, len(pids) + 1)
+        tid = tids.setdefault((span.pid, span.tid), len(tids) + 1)
+        args = dict(span.attributes)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        event = {
+            "name": span.name,
+            "cat": span.category or "misc",
+            "ph": "i" if span.is_event else "X",
+            "ts": round(span.start_s * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        }
+        if span.is_event:
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["dur"] = round((span.duration_s or 0.0) * 1e6, 3)
+        events.append(event)
+    return events
+
+
+def write_chrome_trace(spans: Iterable[Span], path: str | Path) -> Path:
+    """Write the Chrome trace file; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"traceEvents": chrome_trace_events(spans), "displayTimeUnit": "ms"}
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_jsonl(spans: Iterable[Span], path: str | Path) -> Path:
+    """Write one JSON object per span (raw fields); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for span in _ordered(spans):
+            handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[Span]:
+    """Load spans written by :func:`write_jsonl`."""
+    spans: list[Span] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span(**json.loads(line)))
+    return spans

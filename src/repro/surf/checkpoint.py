@@ -37,6 +37,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.errors import CheckpointError
+from repro.obs.tracer import get_tracer
 
 __all__ = ["CheckpointManager", "SearchCheckpointer", "rng_state", "set_rng_state"]
 
@@ -102,20 +103,24 @@ class CheckpointManager:
         instant) see either the previous state or the new one, never a
         torn write.
         """
-        payload = {
-            "format": CHECKPOINT_FORMAT,
-            "fingerprint": self.fingerprint,
-            "searcher": searcher_state,
-            "extra": extra or {},
-        }
-        text = json.dumps(payload)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = self.directory / f"{TMP_PREFIX}.{os.getpid()}"
-        with tmp.open("w", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.state_path)
+        tracer = get_tracer()
+        with tracer.span("checkpoint.save", category="checkpoint") as sp:
+            payload = {
+                "format": CHECKPOINT_FORMAT,
+                "fingerprint": self.fingerprint,
+                "searcher": searcher_state,
+                "extra": extra or {},
+            }
+            text = json.dumps(payload)
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self.directory / f"{TMP_PREFIX}.{os.getpid()}"
+            with tmp.open("w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.state_path)
+            if tracer.enabled:
+                sp.set(path=str(self.state_path), bytes=len(text))
 
     def load(self) -> dict[str, Any] | None:
         """Return the stored payload, or None when no state exists yet.

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.gpusim.perfmodel import GPUPerformanceModel
 from repro.gpusim.timing_table import ProgramTimingTable
+from repro.obs.tracer import get_tracer
 from repro.tcr.program import TCRProgram
 from repro.tcr.space import ProgramConfig
 from repro.util.rng import spawn_rng
@@ -144,10 +145,26 @@ class BatchEvaluator:
 
     def evaluate_batch(self, configs: Sequence[ProgramConfig]) -> list[float]:
         """Algorithm 2's ``Evaluate_Parallel``: score a batch of points."""
-        outcomes = self._run_batch(configs)
-        for outcome in outcomes:
-            self.record_outcome(outcome)
-        self._tally(outcomes)
+        tracer = get_tracer()
+        with tracer.span("eval.batch", category="eval") as sp:
+            outcomes = self._run_batch(configs)
+            for outcome in outcomes:
+                self.record_outcome(outcome)
+            self._tally(outcomes)
+            if tracer.enabled:
+                sp.set(
+                    points=len(outcomes),
+                    evaluations=sum(1 for o in outcomes if not o.cached),
+                    cache_hits=sum(1 for o in outcomes if o.cached),
+                    invalid=sum(1 for o in outcomes if o.status == "invalid"),
+                    transient=sum(1 for o in outcomes if o.status == "transient"),
+                    permanent=sum(1 for o in outcomes if o.status == "permanent"),
+                    retries=sum(max(0, o.attempts - 1) for o in outcomes),
+                    table_fallbacks=sum(
+                        1 for o in outcomes if o.detail == TABLE_FALLBACK
+                    ),
+                    simulated_wall_seconds=self.simulated_wall_seconds,
+                )
         return [o.value for o in outcomes]
 
     def evaluate(self, config: ProgramConfig) -> float:

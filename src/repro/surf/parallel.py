@@ -31,6 +31,7 @@ from collections.abc import Sequence
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.errors import EvaluationFailure, SearchError
+from repro.obs.tracer import get_tracer
 from repro.surf.evaluator import BatchEvaluator, EvalOutcome
 from repro.tcr.space import ProgramConfig
 
@@ -126,6 +127,12 @@ class ParallelBatchEvaluator(BatchEvaluator):
                 break
             rebuilds += 1
             self.pool_rebuilds += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "eval.pool_rebuild", category="eval",
+                    pending=len(pending), rebuilds=self.pool_rebuilds,
+                )
             if rebuilds > self.max_pool_rebuilds:
                 raise EvaluationFailure(
                     f"worker pool broke {rebuilds} times in one batch "

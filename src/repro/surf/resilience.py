@@ -30,6 +30,7 @@ so the layer is safe under thread- and process-pool fan-out.
 from __future__ import annotations
 
 from repro.errors import EvaluationFailure, SearchError, TransientEvaluationError
+from repro.obs.tracer import get_tracer
 from repro.surf.cache import QuarantineStore
 from repro.surf.evaluator import BatchEvaluator, EvalOutcome
 from repro.tcr.space import ProgramConfig
@@ -154,7 +155,15 @@ class ResilientEvaluator(BatchEvaluator):
         # Driver-thread side effects, mirroring CachedEvaluator: quarantine
         # insertion here keeps evaluate_one pure and JSONL appends serial.
         if outcome.status == "permanent" and not outcome.cached:
-            self.quarantine.add(self.fingerprint(outcome.config), outcome.detail)
+            fp = self.fingerprint(outcome.config)
+            self.quarantine.add(fp, outcome.detail)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "eval.quarantine", category="eval",
+                    fingerprint=fp, reason=outcome.detail,
+                    quarantined=len(self.quarantine),
+                )
         self.inner.record_outcome(outcome)
 
     def extra_counters(self) -> dict[str, float]:

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import CheckpointError, SearchError
+from repro.obs.tracer import get_tracer
 from repro.surf.binarize import FeatureBinarizer, OrdinalEncoder
 from repro.surf.checkpoint import SearchCheckpointer, rng_state, set_rng_state
 from repro.surf.evaluator import PENALTY_SECONDS
@@ -189,9 +190,12 @@ class SURFSearch:
             return np.log(np.maximum(y, 1e-12)) if self.log_objective else y
 
         def refit(model) -> float:
-            start = time.perf_counter()
-            model.fit(np.stack(X_out), targets())
-            return time.perf_counter() - start
+            with get_tracer().span(
+                "search.fit", category="search", observations=len(y_out)
+            ):
+                start = time.perf_counter()
+                model.fit(np.stack(X_out), targets())
+                return time.perf_counter() - start
 
         def save_checkpoint() -> None:
             if checkpointer is None:

@@ -20,6 +20,8 @@ import json
 from collections.abc import Callable, Iterable
 from dataclasses import asdict, dataclass
 
+from repro.obs.tracer import get_tracer
+
 __all__ = ["BatchRecord", "SearchTelemetry"]
 
 
@@ -47,6 +49,10 @@ class BatchRecord:
     transient: int = 0
     permanent: int = 0
     retries: int = 0
+    #: which sub-search the record came from in a merged per-variant
+    #: telemetry (0 for single-search runs); ``(part, batch_index)`` is
+    #: unique across a merged stream where ``batch_index`` alone is not
+    part: int = 0
 
 
 class SearchTelemetry:
@@ -100,6 +106,12 @@ class SearchTelemetry:
             **statuses,
         )
         self.records.append(record)
+        # Unified observability: when a tracer is active, each batch record
+        # doubles as a trace event with the record's fields as attributes —
+        # one mechanism, two sinks (the JSON telemetry dump and the trace).
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("search.batch", category="search", **asdict(record))
         return record
 
     # ------------------------------------------------------------------
@@ -138,12 +150,20 @@ class SearchTelemetry:
     def restore_state(self, state: dict[str, object]) -> None:
         """Restore :meth:`snapshot_state` output (for search resume).
 
-        The counter snapshot is restored as saved, so the first delta after
-        resume is computed against the same baseline the interrupted run
-        would have used.
+        The counter baseline is **re-snapshotted from the live provider**:
+        the persisted snapshot describes the interrupted process's
+        evaluator stack, but the resuming process's counters may start
+        anywhere (zero on a fresh stack, or restored from the checkpoint's
+        own counter record) — diffing the first post-resume batch against
+        the stale snapshot produced negative or double-counted deltas.
+        Without a provider the persisted snapshot is the only baseline
+        available, so it is kept as saved.
         """
         self.records = [BatchRecord(**r) for r in state.get("records", [])]
-        self._last = {k: float(v) for k, v in dict(state.get("last", {})).items()}
+        if self._counters is not None:
+            self._last = self._snapshot()
+        else:
+            self._last = {k: float(v) for k, v in dict(state.get("last", {})).items()}
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(
@@ -152,9 +172,20 @@ class SearchTelemetry:
 
     @classmethod
     def merged(cls, parts: Iterable["SearchTelemetry | None"]) -> "SearchTelemetry":
-        """Concatenate sub-search telemetries (e.g. per-variant runs)."""
+        """Concatenate sub-search telemetries (e.g. per-variant runs).
+
+        Each record keeps its within-part ``batch_index`` and is tagged
+        with its ``part`` ordinal, so ``(part, batch_index)`` is unique
+        across the merge (a globally renumbered index silently hid which
+        sub-search a batch belonged to, and two parts' "batch 0" collided
+        in any per-part analysis).  ``best_so_far`` is re-monotonized as a
+        running minimum over the merged stream: each part tracked only its
+        own best, so the raw concatenation could *increase* when a later
+        variant started worse than an earlier one finished.
+        """
         out = cls()
-        for part in parts:
+        running_best = float("inf")
+        for part_index, part in enumerate(parts):
             if part is None:
                 continue
             for key in ("quarantined", "pool_rebuilds"):
@@ -165,13 +196,14 @@ class SearchTelemetry:
                 (r.simulated_wall_seconds for r in out.records), default=0.0
             )
             for record in part.records:
+                running_best = min(running_best, record.best_so_far)
                 out.records.append(
                     BatchRecord(
-                        batch_index=len(out.records),
+                        batch_index=record.batch_index,
                         batch_size=record.batch_size,
                         evaluations=record.evaluations,
                         cache_hits=record.cache_hits,
-                        best_so_far=record.best_so_far,
+                        best_so_far=running_best,
                         fit_seconds=record.fit_seconds,
                         simulated_wall_seconds=base_wall
                         + record.simulated_wall_seconds,
@@ -179,6 +211,7 @@ class SearchTelemetry:
                         transient=record.transient,
                         permanent=record.permanent,
                         retries=record.retries,
+                        part=part_index,
                     )
                 )
         return out

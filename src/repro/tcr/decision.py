@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from repro.errors import SearchSpaceError
+from repro.obs.tracer import get_tracer
 from repro.tcr.memory import coalescing_indices, contiguous_tensors
 from repro.tcr.program import TCROperation, TCRProgram
 from repro.tcr.space import ONE, KernelSpace, ProgramSpace
@@ -161,12 +162,20 @@ def decide_search_space(
     program: TCRProgram, variant_index: int = 0, permute_serial: bool = False
 ) -> ProgramSpace:
     """Build the full per-variant space: one kernel space per operation."""
-    spaces = tuple(
-        decide_kernel_space(op, program.dims, permute_serial)
-        for op in program.operations
-    )
-    return ProgramSpace(
-        variant_index=variant_index,
-        program=program,
-        kernel_spaces=spaces,
-    )
+    tracer = get_tracer()
+    with tracer.span(
+        "tcr.decision", category="tcr",
+        program=program.name, variant=variant_index,
+    ) as sp:
+        spaces = tuple(
+            decide_kernel_space(op, program.dims, permute_serial)
+            for op in program.operations
+        )
+        space = ProgramSpace(
+            variant_index=variant_index,
+            program=program,
+            kernel_spaces=spaces,
+        )
+        if tracer.enabled:
+            sp.set(kernels=len(spaces), size=space.size())
+    return space

@@ -46,6 +46,20 @@ class TestCommands:
         assert "15 variants" in out
         assert "6 with minimal flops" in out
 
+    def test_variants_unreadable_file_reports_error(self, tmp_path, capsys):
+        # Regression: an OSError opening an *existing* path used to fall
+        # back silently to parsing the path string as inline DSL, which
+        # produced a baffling parse error instead of the real file problem.
+        assert main(["variants", str(tmp_path)]) == 1  # a directory
+        err = capsys.readouterr().err
+        assert "cannot read DSL file" in err
+
+    def test_variants_missing_file_not_dsl(self, tmp_path, capsys):
+        missing = tmp_path / "nope.oct"
+        assert main(["variants", str(missing)]) == 1
+        err = capsys.readouterr().err
+        assert "neither an existing DSL file nor an inline DSL" in err
+
     def test_codegen_tcr(self, capsys):
         assert main(["codegen", "lg3", "--kind", "tcr"]) == 0
         out = capsys.readouterr().out
@@ -73,6 +87,22 @@ class TestCommands:
         path.write_text("dim i j k = 16\nCm[i j] = Sum([k], A[i k] * B[k j])\n")
         code = main(["tune", str(path), "--evals", "10", "--pool", "100"])
         assert code == 0
+
+    def test_tune_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run" / "out.trace"
+        code = main(
+            [
+                "tune", "d1_1", "--evals", "10", "--pool", "100",
+                "--seed", "3", "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+        assert (trace.parent / "manifest.json").exists()
 
     def test_unknown_workload_errors(self, capsys):
         assert main(["tune", "not-a-workload"]) == 1

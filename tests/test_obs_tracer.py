@@ -1,0 +1,259 @@
+"""Tests for the span tracer, exporters, and run manifests."""
+
+import json
+import pathlib
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.exporters import (
+    chrome_trace_events,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.manifest import RunManifest
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    use_tracer,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def _fake_clock(step: float = 0.001):
+    """Deterministic clock: advances `step` seconds per read."""
+    state = {"t": 0.0}
+
+    def clock() -> float:
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+def _sample_tracer() -> Tracer:
+    """A tiny, fully deterministic trace used by the golden-file test."""
+    tracer = Tracer(clock=_fake_clock())
+    with tracer.span("tune.run", category="tune", workload="demo") as root:
+        with tracer.span("dsl.parse", category="dsl", source="demo") as sp:
+            sp.set(statements=1)
+        tracer.event(
+            "search.batch", category="search",
+            batch_index=0, evaluations=4, best_so_far=2.5,
+        )
+        root.set(seed=3)
+    return tracer
+
+
+class TestTracer:
+    def test_nesting_and_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        spans = {s.name: s for s in tracer.finished()}
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].parent_id == outer.span_id
+        assert inner.span_id != outer.span_id
+        # Inner finishes first: completion order.
+        assert [s.name for s in tracer.finished()] == ["inner", "outer"]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        spans = {s.name: s for s in tracer.finished()}
+        assert spans["a"].parent_id == root.span_id
+        assert spans["b"].parent_id == root.span_id
+
+    def test_event_parents_under_open_span(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            ev = tracer.event("tick", category="test", n=1)
+        assert ev.parent_id == root.span_id
+        assert ev.is_event
+        assert ev.attributes == {"n": 1}
+
+    def test_exception_marks_error_and_closes(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (span,) = tracer.finished()
+        assert span.attributes.get("error") is True
+        assert span.duration_s is not None and span.duration_s >= 0.0
+
+    def test_thread_local_parentage(self):
+        # A span opened on a worker thread must NOT parent under the main
+        # thread's open span — each thread nests independently.
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("worker") as sp:
+                seen["span"] = sp
+
+        with tracer.span("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["span"].parent_id is None
+        tids = {s.tid for s in tracer.finished()}
+        assert len(tids) == 2
+
+    def test_add_attributes_targets_innermost(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.add_attributes(hit=True)
+        spans = {s.name: s for s in tracer.finished()}
+        assert spans["inner"].attributes == {"hit": True}
+        assert spans["outer"].attributes == {}
+
+    def test_span_ids_unique_across_threads(self):
+        tracer = Tracer()
+
+        def worker():
+            for _ in range(50):
+                with tracer.span("w"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = [s.span_id for s in tracer.finished()]
+        assert len(ids) == 200
+        assert len(set(ids)) == 200
+
+
+class TestNullTracer:
+    def test_ambient_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert isinstance(get_tracer(), NullTracer)
+        assert get_tracer().enabled is False
+
+    def test_no_allocation_when_disabled(self):
+        # The no-op path must not create Span objects: every span() call
+        # returns the one shared handle and finished() stays empty.
+        handle_a = NULL_TRACER.span("search.run", category="search", n=1)
+        handle_b = NULL_TRACER.span("eval.batch")
+        assert handle_a is handle_b
+        with handle_a as sp:
+            sp.set(anything=123)  # silently dropped
+        assert NULL_TRACER.event("tick") is None
+        NULL_TRACER.add_attributes(x=1)
+        assert NULL_TRACER.finished() == ()
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        assert get_tracer() is NULL_TRACER
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            nested = Tracer()
+            with use_tracer(nested):
+                assert get_tracer() is nested
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_tracer(Tracer()):
+                raise RuntimeError("boom")
+        assert get_tracer() is NULL_TRACER
+
+
+class TestExporters:
+    def test_chrome_trace_golden(self, tmp_path):
+        # Frozen byte-for-byte: the fake clock and dense pid/tid remapping
+        # make the export fully deterministic.  Regenerate after an
+        # intentional format change with:
+        #   PYTHONPATH=src python -c "from tests.test_obs_tracer import \
+        #       _regenerate_golden; _regenerate_golden()"
+        out = tmp_path / "out.trace"
+        write_chrome_trace(_sample_tracer().finished(), out)
+        assert out.read_text() == (GOLDEN / "chrome_trace.json").read_text()
+
+    def test_chrome_events_shape(self):
+        events = chrome_trace_events(_sample_tracer().finished())
+        by_name = {e["name"]: e for e in events}
+        root = by_name["tune.run"]
+        assert root["ph"] == "X"
+        assert root["dur"] > 0
+        assert root["args"]["workload"] == "demo"
+        assert root["args"]["seed"] == 3
+        batch = by_name["search.batch"]
+        assert batch["ph"] == "i"
+        assert batch["s"] == "t"
+        assert "dur" not in batch
+        # pid/tid are remapped to small dense ints, not raw OS values.
+        assert all(e["pid"] == 1 and e["tid"] == 1 for e in events)
+
+    def test_chrome_trace_is_valid_json_with_trace_events(self, tmp_path):
+        out = tmp_path / "out.trace"
+        write_chrome_trace(_sample_tracer().finished(), out)
+        payload = json.loads(out.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        spans = _sample_tracer().finished()
+        out = tmp_path / "spans.jsonl"
+        write_jsonl(spans, out)
+        back = read_jsonl(out)
+        assert [s.to_dict() for s in back] == sorted(
+            (s.to_dict() for s in spans),
+            key=lambda d: (d["start_s"], d["span_id"]),
+        )
+
+
+class TestRunManifest:
+    def _manifest(self) -> RunManifest:
+        return RunManifest(
+            name="demo",
+            package_version="0.0-test",
+            arch="GTX 980",
+            arch_fingerprint="ab" * 8,
+            calibration_fingerprint="cd" * 8,
+            dsl_fingerprint="ef" * 8,
+            seed=7,
+            searcher="surf",
+            settings={"max_evaluations": 10},
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = self._manifest()
+        manifest.write(path)
+        assert RunManifest.load(path) == manifest
+
+    def test_byte_deterministic(self):
+        assert self._manifest().to_json() == self._manifest().to_json()
+
+    def test_no_wall_clock_fields(self):
+        payload = self._manifest().to_dict()
+        assert not any("time" in k or "date" in k for k in payload)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(ReproError):
+            RunManifest.load(path)
+        with pytest.raises(ReproError):
+            RunManifest.load(tmp_path / "missing.json")
+
+
+def _regenerate_golden() -> None:
+    write_chrome_trace(
+        _sample_tracer().finished(), GOLDEN / "chrome_trace.json"
+    )
+    print(f"wrote {GOLDEN / 'chrome_trace.json'}")

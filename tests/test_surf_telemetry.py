@@ -73,13 +73,43 @@ class TestPerVariantTelemetry:
         tel = result.search.telemetry
         assert tel is not None
         assert sum(r.batch_size for r in tel.records) == result.search.evaluations
-        assert [r.batch_index for r in tel.records] == list(
-            range(len(tel.records))
-        )
+        # Records keep their within-part batch_index and are disambiguated
+        # by the part ordinal: (part, batch_index) is unique, and each
+        # part's indices are contiguous from 0.
+        keys = [(r.part, r.batch_index) for r in tel.records]
+        assert len(set(keys)) == len(keys)
+        parts = sorted({r.part for r in tel.records})
+        assert parts == list(range(result.variant_count))
+        for part in parts:
+            indices = [r.batch_index for r in tel.records if r.part == part]
+            assert indices == list(range(len(indices)))
         # Wall clock keeps accumulating across the merged sub-searches.
         assert tel.records[-1].simulated_wall_seconds == pytest.approx(
             result.search_seconds
         )
+
+    def test_merged_best_so_far_monotone(self, mttkrp):
+        # Regression: each sub-search tracked only its own running best, so
+        # the raw concatenation could *increase* when a later variant
+        # started worse than an earlier variant finished.
+        result = _tuner(per_variant=True).tune_contraction(mttkrp)
+        curve = [r.best_so_far for r in result.search.telemetry.records]
+        assert curve == sorted(curve, reverse=True)
+        assert curve[-1] == pytest.approx(result.search.best_objective)
+
+    def test_merged_unit_semantics(self):
+        # Two synthetic parts: indices collide, and part B starts worse
+        # than part A ended.
+        a, b = SearchTelemetry(), SearchTelemetry()
+        a.record_batch(batch_size=2, best_so_far=1.0)
+        a.record_batch(batch_size=2, best_so_far=0.5)
+        b.record_batch(batch_size=2, best_so_far=2.0)
+        b.record_batch(batch_size=2, best_so_far=0.1)
+        merged = SearchTelemetry.merged([a, b])
+        assert [(r.part, r.batch_index) for r in merged.records] == [
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        ]
+        assert [r.best_so_far for r in merged.records] == [1.0, 0.5, 0.5, 0.1]
 
     def test_history_carries_true_variant_indices(self, mttkrp):
         # Regression: merged per-variant history used to keep variant 0 on
@@ -93,6 +123,68 @@ class TestPerVariantTelemetry:
                 1 for c, _y in result.search.history if c.variant_index == v
             )
             assert count == per_variant
+
+
+class TestResumeTelemetry:
+    def test_restore_resnapshots_live_counters(self):
+        # Regression: restore_state kept the *persisted* counter snapshot,
+        # but a resuming process's evaluator counters start wherever that
+        # process is — diffing against the stale snapshot made the first
+        # post-resume batch report negative (or double-counted) deltas.
+        counters = {"evaluations": 0.0, "cache_hits": 0.0}
+        first = SearchTelemetry(counters=lambda: dict(counters))
+        counters["evaluations"] = 10.0
+        first.record_batch(batch_size=10, best_so_far=1.0)
+        saved = first.snapshot_state()
+
+        fresh = {"evaluations": 0.0, "cache_hits": 0.0}  # new process: zeros
+        resumed = SearchTelemetry(counters=lambda: dict(fresh))
+        resumed.restore_state(saved)
+        fresh["evaluations"] = 4.0  # the first post-resume batch
+        record = resumed.record_batch(batch_size=4, best_so_far=0.9)
+        assert record.evaluations == 4
+        assert record.cache_hits == 0
+
+    def test_restore_without_counters_keeps_snapshot(self):
+        tel = SearchTelemetry()
+        tel.record_batch(batch_size=3, best_so_far=1.0)
+        saved = tel.snapshot_state()
+        saved["last"] = {"evaluations": 7.0}
+        plain = SearchTelemetry()
+        plain.restore_state(saved)
+        assert plain._last == {"evaluations": 7.0}
+
+    def test_resumed_run_telemetry_deltas_nonnegative(
+        self, two_op_program, tmp_path, monkeypatch
+    ):
+        # End-to-end: kill a checkpointed run mid-search, resume it, and
+        # check every post-resume batch has sane (nonnegative) deltas that
+        # still add up to the reference run's totals.
+        from tests.test_checkpoint import _Interrupted, _run
+
+        kw = {"faults": "0.2"}
+        reference = _run(two_op_program, tmp_path, **kw)
+        ck = tmp_path / "ck"
+        with pytest.raises(_Interrupted):
+            _run(
+                two_op_program, tmp_path, monkeypatch, kill_after=2,
+                checkpoint_dir=ck, **kw,
+            )
+        resumed = _run(
+            two_op_program, tmp_path, checkpoint_dir=ck, resume=True, **kw
+        )
+        records = resumed.search.telemetry.records
+        assert all(r.evaluations >= 0 and r.cache_hits >= 0 for r in records)
+        ref_totals = reference.search.telemetry.totals()
+        res_totals = resumed.search.telemetry.totals()
+        for key in ("batches", "points", "best_objective"):
+            assert res_totals[key] == ref_totals[key]
+        # The resumed run replays the killed batch from the persistent
+        # eval cache, so evaluations+cache_hits (work accounted) matches.
+        assert (
+            res_totals["evaluations"] + res_totals["cache_hits"]
+            == ref_totals["evaluations"] + ref_totals["cache_hits"]
+        )
 
 
 class TestCliTelemetry:
