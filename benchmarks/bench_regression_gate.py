@@ -1,21 +1,39 @@
 #!/usr/bin/env python3
-"""Bench regression gate: fail CI when the timing-table fast path regresses.
+"""Bench regression gate: fail CI when a guarded fast path regresses.
 
-Reruns the :mod:`benchmarks.bench_timing_table` measurement and compares
-the scalar/table *speedup ratio* against a committed baseline
-(``BENCH_pr5.json`` at the repo root).  Comparing the ratio — not raw
-seconds — makes the gate robust to CI machines of different speeds: both
-paths run on the same box, so a genuine fast-path regression shows up as
-a lower ratio regardless of absolute clock speed.
+Two suites, selected with ``--suite``:
+
+``timing_table`` (default)
+    Reruns the :mod:`benchmarks.bench_timing_table` measurement and
+    compares the scalar/table *speedup ratio* against the committed
+    ``BENCH_pr5.json`` baseline at the repo root.
+``search``
+    Reruns the :mod:`benchmarks.bench_search_throughput` stage
+    measurement (predict+select over the remaining pool — the loop body
+    that dominates large-pool SURF runs) and compares the array-native/
+    seed speedup ratio against the matching pool-size record in the
+    committed ``BENCH_pr6.json`` baseline.
+
+Comparing ratios — not raw seconds — makes the gate robust to CI
+machines of different speeds: both paths run on the same box, so a
+genuine fast-path regression shows up as a lower ratio regardless of
+absolute clock speed.
 
 CI usage (fails with exit 1 on a >20% speedup drop)::
 
     PYTHONPATH=src python benchmarks/bench_regression_gate.py \
         --configs 1000 --json benchmarks/output/BENCH_pr5.json
+    PYTHONPATH=src python benchmarks/bench_regression_gate.py \
+        --suite search --configs 10000 --json benchmarks/output/BENCH_pr6.json
 
-Refresh the committed baseline after an intentional perf change::
+Refresh a committed baseline after an intentional perf change::
 
     PYTHONPATH=src python benchmarks/bench_regression_gate.py --update
+    PYTHONPATH=src python benchmarks/bench_regression_gate.py --suite search --update
+
+(For the search suite, ``--update`` refreshes the matching record in
+place; regenerate the whole sweep — including the legacy-free 10^6
+record — with ``benchmarks/bench_search_throughput.py --json``.)
 """
 
 from __future__ import annotations
@@ -26,23 +44,39 @@ import pathlib
 import sys
 
 try:
-    from benchmarks.bench_timing_table import run_bench
+    from benchmarks.bench_search_throughput import run_bench as run_search_bench
+    from benchmarks.bench_timing_table import run_bench as run_table_bench
 except ImportError:  # run as a script from benchmarks/
-    from bench_timing_table import run_bench
+    from bench_search_throughput import run_bench as run_search_bench
+    from bench_timing_table import run_bench as run_table_bench
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-BASELINE_PATH = REPO_ROOT / "BENCH_pr5.json"
-OUTPUT_PATH = pathlib.Path(__file__).parent / "output" / "BENCH_pr5.json"
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 #: Allowed fractional drop in speedup vs the baseline before failing.
 TOLERANCE = 0.20
 
+SUITES = {
+    "timing_table": {
+        "baseline": REPO_ROOT / "BENCH_pr5.json",
+        "output": OUTPUT_DIR / "BENCH_pr5.json",
+        "default_configs": 1000,
+        "label": "timing-table fast path",
+    },
+    "search": {
+        "baseline": REPO_ROOT / "BENCH_pr6.json",
+        "output": OUTPUT_DIR / "BENCH_pr6.json",
+        "default_configs": 10000,
+        "label": "search core (predict+select)",
+    },
+}
 
-def measure(configs: int, seed: int, repeats: int) -> dict:
+
+def _best_of(measure, repeats: int) -> dict:
     """Best-of-N bench run (best ratio — least noise-polluted sample)."""
     best: dict | None = None
     for attempt in range(repeats):
-        result = run_bench(configs, seed=seed)
+        result = measure()
         result["attempt"] = attempt
         if best is None or result["speedup"] > best["speedup"]:
             best = result
@@ -51,25 +85,80 @@ def measure(configs: int, seed: int, repeats: int) -> dict:
     return best
 
 
+def _load_baseline(path: pathlib.Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"FAIL: cannot read baseline {path}: {exc}")
+
+
+def _search_baseline_record(baseline: dict, configs: int) -> dict:
+    """The sweep record gated against: same pool size, legacy measured."""
+    for record in baseline.get("records", []):
+        if record.get("configs") == configs and "speedup" in record:
+            return record
+    raise SystemExit(
+        f"FAIL: baseline has no legacy-measured record at pool {configs}; "
+        "available: "
+        + ", ".join(str(r.get("configs")) for r in baseline.get("records", []))
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--configs", type=int, default=1000,
-                        help="pool size scored on both paths")
+    parser.add_argument("--suite", choices=sorted(SUITES), default="timing_table",
+                        help="which guarded fast path to measure")
+    parser.add_argument("--configs", type=int, default=None,
+                        help="pool size scored on both paths "
+                        "(default: 1000 timing_table, 10000 search)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--repeats", type=int, default=3,
                         help="bench repetitions; the best ratio is compared")
     parser.add_argument("--tolerance", type=float, default=TOLERANCE,
                         help="allowed fractional speedup drop vs baseline")
-    parser.add_argument("--baseline", default=str(BASELINE_PATH),
+    parser.add_argument("--baseline", default=None,
                         help="committed baseline record to compare against")
-    parser.add_argument("--json", default=str(OUTPUT_PATH), metavar="PATH",
+    parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the fresh measurement record to PATH")
     parser.add_argument("--update", action="store_true",
                         help="write the fresh measurement as the new baseline "
                         "instead of gating against the old one")
     args = parser.parse_args(argv)
 
-    result = measure(args.configs, args.seed, args.repeats)
+    suite = SUITES[args.suite]
+    configs = args.configs if args.configs is not None else suite["default_configs"]
+    baseline_path = pathlib.Path(args.baseline or suite["baseline"])
+    json_path = pathlib.Path(args.json or suite["output"])
+
+    if args.suite == "search":
+        # nmax/batch_size shape the measurement; take them from the
+        # baseline record so the ratio is like-for-like.
+        baseline_all = _load_baseline(baseline_path)
+        baseline_rec = _search_baseline_record(baseline_all, configs)
+        nmax = int(baseline_rec.get("nmax", 200))
+        batch_size = int(baseline_rec.get("batch_size", 10))
+
+        def measure() -> dict:
+            # The full end-to-end runs are covered by the committed sweep
+            # and the parity suite; the gate times the loop body only.
+            # run_bench asserts bitwise agreement of design matrices,
+            # predictions, and the selected batch — a parity break fails
+            # the gate with a traceback.
+            return run_search_bench(
+                configs, seed=args.seed, nmax=nmax, batch_size=batch_size,
+                include_legacy=True, end_to_end=False,
+            )
+
+        result = _best_of(measure, args.repeats)
+        result["exact_match"] = True  # in-run asserts would have raised
+        baseline_speedup = float(baseline_rec["speedup"])
+    else:
+        result = _best_of(
+            lambda: run_table_bench(configs, seed=args.seed), args.repeats
+        )
+        baseline_speedup = None  # read below unless --update
+
+    result["suite"] = args.suite
     result["tolerance"] = args.tolerance
 
     if not result["exact_match"]:
@@ -80,44 +169,45 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 1
 
-    baseline_path = pathlib.Path(args.baseline)
     if args.update:
-        baseline_path.write_text(
-            json.dumps(result, indent=2) + "\n", encoding="utf-8"
-        )
+        if args.suite == "search":
+            baseline_rec.update(
+                {k: v for k, v in result.items() if k != "suite"}
+            )
+            baseline_path.write_text(
+                json.dumps(baseline_all, indent=2) + "\n", encoding="utf-8"
+            )
+        else:
+            baseline_path.write_text(
+                json.dumps(result, indent=2) + "\n", encoding="utf-8"
+            )
         print(
             f"baseline updated: {baseline_path} "
             f"(speedup {result['speedup']:.1f}x on {result['configs']} configs)"
         )
         return 0
 
-    try:
-        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-    except (OSError, ValueError) as exc:
-        print(f"FAIL: cannot read baseline {baseline_path}: {exc}",
-              file=sys.stderr)
-        return 1
+    if baseline_speedup is None:
+        baseline_speedup = float(_load_baseline(baseline_path)["speedup"])
 
-    floor = (1.0 - args.tolerance) * float(baseline["speedup"])
-    result["baseline_speedup"] = baseline["speedup"]
+    floor = (1.0 - args.tolerance) * baseline_speedup
+    result["baseline_speedup"] = baseline_speedup
     result["required_speedup"] = floor
     result["passed"] = result["speedup"] >= floor
 
-    if args.json:
-        out = pathlib.Path(args.json)
-        out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
 
     print(
-        f"timing-table fast path: {result['speedup']:.1f}x "
-        f"(baseline {baseline['speedup']:.1f}x, floor {floor:.1f}x after "
+        f"{suite['label']}: {result['speedup']:.1f}x "
+        f"(baseline {baseline_speedup:.1f}x, floor {floor:.1f}x after "
         f"{args.tolerance:.0%} tolerance, best of {args.repeats})"
     )
     if not result["passed"]:
         print(
             f"FAIL: speedup {result['speedup']:.2f}x fell more than "
-            f"{args.tolerance:.0%} below the {baseline['speedup']:.2f}x "
-            "baseline — timing-table fast path regressed",
+            f"{args.tolerance:.0%} below the {baseline_speedup:.2f}x "
+            f"baseline — {suite['label']} regressed",
             file=sys.stderr,
         )
         return 1

@@ -37,6 +37,7 @@ from repro.surf.evaluator import BatchEvaluator, ConfigurationEvaluator
 from repro.surf.exhaustive import ExhaustiveSearch
 from repro.surf.faults import FaultInjectingEvaluator, FaultSpec
 from repro.surf.parallel import ParallelBatchEvaluator
+from repro.surf.pool import SpacePool, as_pool
 from repro.surf.random_search import RandomSearch
 from repro.surf.resilience import ResilientEvaluator
 from repro.surf.search import SearchResult, SURFSearch
@@ -94,10 +95,19 @@ def _retag_variant(config: ProgramConfig, variant_index: int) -> ProgramConfig:
     )
 
 
-def _make_searcher(kind: str, batch_size: int, max_evaluations: int, seed: int):
+def _make_searcher(
+    kind: str,
+    batch_size: int,
+    max_evaluations: int,
+    seed: int,
+    tie_break: str = "lexsort",
+):
     if kind == "surf":
         return SURFSearch(
-            batch_size=batch_size, max_evaluations=max_evaluations, seed=seed
+            batch_size=batch_size,
+            max_evaluations=max_evaluations,
+            seed=seed,
+            tie_break=tie_break,
         )
     if kind == "random":
         return RandomSearch(
@@ -189,6 +199,11 @@ class Autotuner:
         mismatch (changed seed/space/searcher/budget) raises
         :class:`~repro.errors.CheckpointError` rather than resuming
         unsafely; with no state file yet, the run simply starts fresh.
+    tie_break:
+        How SURF orders equal predictions within a batch: ``"lexsort"``
+        (default, scale-independent randomized ties) or ``"jitter"`` (the
+        historical additive-jitter scheme, kept for resuming/replaying
+        runs recorded under it).  See :class:`~repro.surf.search.SURFSearch`.
     trace:
         Write a Chrome-trace (Perfetto-loadable) span trace of every
         ``tune_*`` call to this path, plus a run-provenance
@@ -224,6 +239,7 @@ class Autotuner:
         checkpoint_dir: str | Path | None = None,
         resume: bool = False,
         trace: str | Path | None = None,
+        tie_break: str = "lexsort",
     ) -> None:
         """``per_variant=True`` reproduces the paper's OCTOPI flow for
         multi-variant contractions: each algebraic version is autotuned
@@ -265,6 +281,7 @@ class Autotuner:
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.resume = resume
         self.trace = Path(trace) if trace else None
+        self.tie_break = tie_break
         if resilient is None:
             resilient = self.faults.any() or self.checkpoint_dir is not None
         self.resilient = bool(resilient)
@@ -395,6 +412,7 @@ class Autotuner:
                 "faults": self.faults.describe(),
                 "max_retries": self.max_retries,
                 "resilient": self.resilient,
+                "tie_break": self.tie_break,
             },
         )
 
@@ -434,15 +452,13 @@ class Autotuner:
             self._write_manifests(name, programs)
             return self._tune(name, programs)
 
-    def _run_fingerprint(
-        self, name: str, pool: list[ProgramConfig], space_size: int
-    ) -> dict:
+    def _run_fingerprint(self, name: str, pool, space_size: int) -> dict:
         """Identity of a run for checkpoint-resume safety.
 
         Everything that changes the bitwise course of a search belongs
         here: resuming under a different fingerprint is refused.
         """
-        return {
+        fp = {
             "name": name,
             "arch": self.arch.name,
             "searcher": self.searcher_kind,
@@ -450,20 +466,24 @@ class Autotuner:
             "max_evaluations": self.max_evaluations,
             "batch_size": self.batch_size,
             "space_size": space_size,
-            "pool": format(
-                stable_hash("pool", [c.describe() for c in pool]), "016x"
-            ),
+            "pool": as_pool(pool).fingerprint(),
             "noisy": self.noisy,
             "include_transfer": self.include_transfer,
             "faults": self.faults.describe(),
             "max_retries": self.max_retries,
         }
+        # "jitter" reproduces the historical selection stream exactly, so
+        # its fingerprint stays byte-compatible with states written before
+        # the mode existed; any other mode changes the course and is named.
+        if self.tie_break != "jitter":
+            fp["tie_break"] = self.tie_break
+        return fp
 
     def _checkpointer(
         self,
         checkpoint_dir: Path | None,
         name: str,
-        pool: list[ProgramConfig],
+        pool,
         space_size: int,
         evaluator: BatchEvaluator | None,
     ) -> SearchCheckpointer | None:
@@ -538,8 +558,12 @@ class Autotuner:
         else:
             with tracer.span("space.pool", category="space") as sp:
                 rng = spawn_rng(self.seed, "pool", name, self.arch.name)
-                pool = tuning_space.sample_pool(
-                    min(self.pool_size, tuning_space.size()), rng
+                # Ids only — configs materialize lazily per evaluation batch.
+                pool = SpacePool(
+                    tuning_space,
+                    tuning_space.sample_ids(
+                        min(self.pool_size, tuning_space.size()), rng
+                    ),
                 )
                 if tracer.enabled:
                     sp.set(pool=len(pool), space=tuning_space.size())
@@ -550,7 +574,7 @@ class Autotuner:
             evaluator = self._build_evaluator(programs, tables=tables)
             searcher = _make_searcher(
                 self.searcher_kind, self.batch_size, self.max_evaluations,
-                self.seed,
+                self.seed, tie_break=self.tie_break,
             )
             checkpointer = self._checkpointer(
                 checkpoint_dir, name, pool, tuning_space.size(), evaluator

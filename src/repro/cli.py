@@ -99,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
         "whole run to FILE, plus a run-provenance manifest.json next to "
         "it; results are bitwise identical with tracing on or off",
     )
+    tune.add_argument(
+        "--tie-break", default="lexsort", choices=("lexsort", "jitter"),
+        help="SURF ordering of equal predictions: 'lexsort' (scale-"
+        "independent randomized ties) or 'jitter' (the historical additive-"
+        "jitter stream — use to resume/replay runs recorded under it)",
+    )
 
     variants = sub.add_parser("variants", help="show OCTOPI variants for a DSL input")
     variants.add_argument("dsl", help="DSL file path or inline statement")
@@ -181,6 +187,7 @@ def _run_tune(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         trace=args.trace,
+        tie_break=args.tie_break,
     )
     result = workload.tune(tuner)
     print(result.summary())

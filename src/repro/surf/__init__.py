@@ -10,9 +10,10 @@ scikit-learn is not available in this environment, so the surrogate
 Geurts, Ernst & Wehenkel's "Extremely randomized trees" (the paper's [12]).
 """
 
-from repro.surf.binarize import FeatureBinarizer
+from repro.surf.binarize import FeatureBinarizer, OrdinalEncoder
 from repro.surf.tree import ExtraTreeRegressor
-from repro.surf.forest import ExtraTreesRegressor
+from repro.surf.forest import ExtraTreesRegressor, PoolRouter, pool_codes
+from repro.surf.pool import GrowableArray, MaterializedPool, SpacePool, as_pool
 from repro.surf.search import SURFSearch, SearchResult
 from repro.surf.random_search import RandomSearch
 from repro.surf.exhaustive import ExhaustiveSearch
@@ -27,8 +28,15 @@ from repro.surf.checkpoint import CheckpointManager, SearchCheckpointer
 
 __all__ = [
     "FeatureBinarizer",
+    "OrdinalEncoder",
     "ExtraTreeRegressor",
     "ExtraTreesRegressor",
+    "PoolRouter",
+    "pool_codes",
+    "GrowableArray",
+    "MaterializedPool",
+    "SpacePool",
+    "as_pool",
     "SURFSearch",
     "SearchResult",
     "RandomSearch",

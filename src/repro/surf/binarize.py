@@ -17,6 +17,14 @@ sentinel category :data:`ABSENT` — a missing categorical key lights a
 dedicated one-hot column, and a missing numeric key zeroes the ordinal
 column and lights a presence-indicator column, so the surrogate can tell
 "kernel 2 has unroll 0" apart from "variant has no kernel 2".
+
+Both encoders also accept a columnar
+:class:`~repro.surf.pool.FeatureView` (``fit_view`` /
+``transform_matrix``): the array-native pipeline feeds them whole pool
+slices gathered from the tuning space's odometer tables, skipping the
+per-config dict materialization entirely.  For the same pool the two
+routes produce bitwise-identical design matrices (pinned by the parity
+suite).
 """
 
 from __future__ import annotations
@@ -32,6 +40,24 @@ __all__ = ["FeatureBinarizer", "OrdinalEncoder", "ABSENT"]
 #: Sentinel category for feature keys a configuration does not define
 #: (e.g. ``k2_tx`` for a two-kernel variant in a mixed-variant pool).
 ABSENT = "<absent>"
+
+
+def _assemble_columns(
+    keys: list[str],
+    numeric: set[str],
+    categories: dict[str, set[str]],
+) -> list[tuple[str, str | None]]:
+    """Column layout shared by the dict and columnar fit paths."""
+    columns: list[tuple[str, str | None]] = []
+    for key in keys:
+        if key in numeric:
+            columns.append((key, None))
+            if key in categories:  # numeric, but absent for some variants
+                columns.append((key, ABSENT))
+        else:
+            for cat in sorted(categories[key]):
+                columns.append((key, cat))
+    return columns
 
 
 class FeatureBinarizer:
@@ -76,18 +102,76 @@ class FeatureBinarizer:
             raise SearchError(
                 f"features {sorted(overlap)} mix numeric and string values"
             )
-        columns: list[tuple[str, str | None]] = []
-        for key in keys:
-            if key in numeric:
-                columns.append((key, None))
-                if key in categories:  # numeric, but absent for some variants
-                    columns.append((key, ABSENT))
-            else:
-                for cat in sorted(categories[key]):
-                    columns.append((key, cat))
-        self._columns = columns
+        self._columns = _assemble_columns(keys, numeric, categories)
         self._keys = keys
         return self
+
+    def fit_view(self, view) -> "FeatureBinarizer":
+        """Fit from a :class:`~repro.surf.pool.FeatureView` — the same
+        columns :meth:`fit` derives from the corresponding dicts."""
+        if view.n == 0:
+            raise SearchError("cannot fit a binarizer on an empty pool")
+        numeric: set[str] = set()
+        categories: dict[str, set[str]] = {}
+        coverage: dict[str, int] = {}
+        for g in view.cats:
+            observed = {g.vocab[c] for c in np.unique(g.codes)}
+            categories.setdefault(g.key, set()).update(observed)
+            coverage[g.key] = coverage.get(g.key, 0) + int(g.rows.size)
+        for g in view.nums:
+            numeric.add(g.key)
+            coverage[g.key] = coverage.get(g.key, 0) + int(g.rows.size)
+        keys = sorted(coverage)
+        for key in keys:
+            if coverage[key] < view.n:  # absent for some rows
+                categories.setdefault(key, set()).add(ABSENT)
+        self._columns = _assemble_columns(keys, numeric, categories)
+        self._keys = keys
+        return self
+
+    def transform_matrix(self, view) -> np.ndarray:
+        """Vectorized transform of a FeatureView — bitwise-identical to
+        :meth:`transform` on the corresponding feature dicts."""
+        if self._columns is None:
+            raise SearchError("binarizer has not been fit")
+        out = np.zeros((view.n, len(self._columns)))
+        col_of: dict[tuple[str, str | None], int] = {
+            c: i for i, c in enumerate(self._columns)
+        }
+        absent_keys = {key for key, cat in self._columns if cat == ABSENT}
+        covered: dict[str, np.ndarray] = {}
+
+        def mark(key: str, rows: np.ndarray) -> None:
+            if key in absent_keys:
+                mask = covered.get(key)
+                if mask is None:
+                    mask = covered[key] = np.zeros(view.n, dtype=bool)
+                mask[rows] = True
+
+        for g in view.cats:
+            colmap = np.array(
+                [col_of.get((g.key, v), -1) for v in g.vocab], dtype=np.int64
+            )
+            cols = colmap[g.codes]
+            ok = cols >= 0  # unseen category encodes as all-zero
+            out[g.rows[ok], cols[ok]] = 1.0
+            mark(g.key, g.rows)
+        for g in view.nums:
+            col = col_of.get((g.key, None))
+            if col is None:
+                raise SearchError(
+                    f"numeric feature {g.key!r} was not seen during fit"
+                )
+            out[g.rows, col] = g.values
+            mark(g.key, g.rows)
+        for key in absent_keys:
+            mask = covered.get(key)
+            col = col_of[(key, ABSENT)]
+            if mask is None:
+                out[:, col] = 1.0
+            else:
+                out[~mask, col] = 1.0
+        return out
 
     def transform(self, feature_dicts: Sequence[dict[str, object]]) -> np.ndarray:
         """Encode dicts into a dense (n, d) float64 design matrix."""
@@ -150,6 +234,49 @@ class OrdinalEncoder:
             for key, cats in categories.items()
         }
         return self
+
+    def fit_view(self, view) -> "OrdinalEncoder":
+        """FeatureView twin of :meth:`fit` (same keys, same code maps)."""
+        if view.n == 0:
+            raise SearchError("cannot fit an encoder on an empty pool")
+        keys: set[str] = set()
+        categories: dict[str, set[str]] = {}
+        for g in view.cats:
+            keys.add(g.key)
+            categories.setdefault(g.key, set()).update(
+                g.vocab[c] for c in np.unique(g.codes)
+            )
+        for g in view.nums:
+            keys.add(g.key)
+        self._keys = sorted(keys)
+        self._codes = {
+            key: {cat: n for n, cat in enumerate(sorted(cats))}
+            for key, cats in categories.items()
+        }
+        return self
+
+    def transform_matrix(self, view) -> np.ndarray:
+        """Vectorized FeatureView transform, bitwise equal to
+        :meth:`transform` on the corresponding dicts."""
+        if self._codes is None or self._keys is None:
+            raise SearchError("encoder has not been fit")
+        # Every (row, key) cell is either written by a group below or the
+        # key is absent for that row: start from the absent sentinel.
+        out = np.full((view.n, len(self._keys)), -2.0)
+        col_of = {key: i for i, key in enumerate(self._keys)}
+        for g in view.cats:
+            col = col_of.get(g.key)
+            if col is None:
+                continue  # key unseen at fit: dict transform ignores it too
+            codes = self._codes.get(g.key, {})
+            vmap = np.array([float(codes.get(v, -1)) for v in g.vocab])
+            out[g.rows, col] = vmap[g.codes]
+        for g in view.nums:
+            col = col_of.get(g.key)
+            if col is None:
+                continue
+            out[g.rows, col] = g.values
+        return out
 
     def transform(self, feature_dicts: Sequence[dict[str, object]]) -> np.ndarray:
         if self._codes is None or self._keys is None:

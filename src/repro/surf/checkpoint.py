@@ -50,6 +50,22 @@ EVAL_CACHE_FILENAME = "eval_cache.jsonl"
 QUARANTINE_FILENAME = "quarantine.jsonl"
 
 
+def _json_default(obj: Any) -> Any:
+    """Serialize stray numpy scalars/arrays the array-native drivers may
+    leave in a state dict (Python-typed output, so round-trips are exact)."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(
+        f"checkpoint state is not JSON-serializable: {type(obj).__name__}"
+    )
+
+
 def rng_state(rng: np.random.Generator) -> dict[str, Any]:
     """JSON-serializable snapshot of a numpy generator's stream position."""
     return rng.bit_generator.state
@@ -111,7 +127,7 @@ class CheckpointManager:
                 "searcher": searcher_state,
                 "extra": extra or {},
             }
-            text = json.dumps(payload)
+            text = json.dumps(payload, default=_json_default)
             self.directory.mkdir(parents=True, exist_ok=True)
             tmp = self.directory / f"{TMP_PREFIX}.{os.getpid()}"
             with tmp.open("w", encoding="utf-8") as handle:

@@ -11,8 +11,11 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+import numpy as np
+
 from repro.errors import CheckpointError, SearchError
 from repro.surf.checkpoint import SearchCheckpointer
+from repro.surf.pool import GrowableArray, as_pool
 from repro.surf.search import SearchResult
 from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.space import ProgramConfig
@@ -45,12 +48,15 @@ class ExhaustiveSearch:
         telemetry: SearchTelemetry | None = None,
         checkpointer: SearchCheckpointer | None = None,
     ) -> SearchResult:
-        if not pool:
+        pool = as_pool(pool)
+        n = len(pool)
+        if n == 0:
             raise SearchError("configuration pool is empty")
         if telemetry is None:
             telemetry = SearchTelemetry()
-        stop = len(pool) if self.limit is None else min(self.limit, len(pool))
+        stop = n if self.limit is None else min(self.limit, n)
         history: list[tuple[ProgramConfig, float]] = []
+        y_hist = GrowableArray(np.float64)
         best_i = 0
         best_y = float("inf")
         first = 0
@@ -61,26 +67,33 @@ class ExhaustiveSearch:
                     f"checkpoint belongs to searcher {state.get('searcher')!r}, "
                     f"cannot resume with {self.name!r}"
                 )
-            for i, y in state["history"]:
-                history.append((pool[int(i)], float(y)))
+            ids = [int(i) for i, _y in state["history"]]
+            ys = [float(y) for _i, y in state["history"]]
+            for cfg, y in zip(pool.configs(ids), ys):
+                history.append((cfg, y))
+            y_hist.extend(ys)
             best_i = int(state["best_i"])
             best_y = float(state["best_y"])
             first = len(history)
             telemetry.restore_state(state["telemetry"])
         for start in range(first, stop, self.batch_size):
-            configs = list(pool[start : min(start + self.batch_size, stop)])
-            for cfg, y in zip(configs, evaluate_batch(configs)):
-                y = float(y)
+            end = min(start + self.batch_size, stop)
+            configs = pool.configs(range(start, end))
+            ys = [float(y) for y in evaluate_batch(configs)]
+            for cfg, y in zip(configs, ys):
                 if y < best_y:  # strict: first occurrence wins, like argmin
                     best_y = y
                     best_i = len(history)
                 history.append((cfg, y))
+            y_hist.extend(ys[: len(configs)])
             telemetry.record_batch(batch_size=len(configs), best_so_far=best_y)
             if checkpointer is not None:
                 checkpointer.save(
                     {
                         "searcher": self.name,
-                        "history": [[i, y] for i, (_c, y) in enumerate(history)],
+                        "history": [
+                            [i, y] for i, y in enumerate(y_hist.view.tolist())
+                        ],
                         "best_i": best_i,
                         "best_y": best_y,
                         "telemetry": telemetry.snapshot_state(),

@@ -8,6 +8,24 @@ model nonlinear interactions among the parameters."  (Section V)
 The ensemble averages :class:`~repro.surf.tree.ExtraTreeRegressor`
 predictions; each tree gets an independent substream of the forest's
 generator, so fits are reproducible for a given seed.
+
+After fitting, the trees are packed into one set of parallel node arrays
+(feature / threshold / left / right / value, with per-tree node offsets
+folded into the child pointers).  ``predict`` then descends the whole
+ensemble in a single depth-bounded vectorized loop over (tree, sample)
+pairs instead of a Python loop over 30 trees.  The descent only *compares*
+values (no accumulated float ops), and per-tree sums are accumulated in
+the same order as the old loop, so predictions are bitwise-identical.
+
+For repeated prediction over one fixed pool (the SURF driver's inner
+loop), :func:`pool_codes` + :meth:`ExtraTreesRegressor.make_router` go
+further: tuning features take only a handful of distinct values per
+column, so each pool row compresses into per-column *rank codes*, and
+each fitted forest compiles into a next-state table that resolves every
+``value <= threshold`` comparison per (node, code) pair once, at build
+time (~ms).  Descent then costs two gathers per level — no float loads,
+no comparisons — and stays bitwise-identical to :meth:`predict` because
+``x <= t``  ⟺  ``rank(x) < searchsorted(vocab, t, 'right')`` exactly.
 """
 
 from __future__ import annotations
@@ -18,7 +36,147 @@ from repro.errors import SearchError
 from repro.surf.tree import ExtraTreeRegressor
 from repro.util.rng import spawn_rng
 
-__all__ = ["ExtraTreesRegressor"]
+__all__ = ["ExtraTreesRegressor", "PoolCodes", "PoolRouter", "pool_codes"]
+
+#: Columns with more distinct values than this fall back to float descent.
+MAX_ROUTER_CARD = 64
+
+#: (tree, sample) states processed per descent block — sized to keep the
+#: working set L2-resident instead of streaming pool-sized temporaries.
+ROUTER_BLOCK_STATES = 1 << 16
+
+
+class PoolCodes:
+    """A design matrix compressed to per-column rank codes.
+
+    ``codes[i, j]`` is the rank of ``X[i, j]`` within ``columns[j]`` (the
+    sorted distinct values of column ``j``), so ``columns[j][codes[i, j]]``
+    reconstructs ``X[i, j]`` bitwise.
+    """
+
+    def __init__(self, codes: np.ndarray, columns: list[np.ndarray]) -> None:
+        self.codes = np.ascontiguousarray(codes)
+        self.flat = self.codes.reshape(-1)
+        self.columns = columns
+        self.n, self.d = codes.shape
+
+
+def pool_codes(X: np.ndarray, max_card: int = MAX_ROUTER_CARD) -> PoolCodes | None:
+    """Compress ``X`` into :class:`PoolCodes`, or None if any column has
+    more than ``max_card`` distinct values (router not worthwhile/safe)."""
+    X = np.asarray(X, dtype=np.float64)
+    n, d = X.shape
+    codes = np.empty((n, d), dtype=np.uint8)
+    columns: list[np.ndarray] = []
+    for j in range(d):
+        vals = np.unique(X[:, j])
+        if vals.size > max_card:
+            return None
+        codes[:, j] = np.searchsorted(vals, X[:, j])
+        columns.append(vals)
+    return PoolCodes(codes, columns)
+
+
+class PoolRouter:
+    """Per-fit routing tables for one forest over one coded pool.
+
+    Each state packs ``(node << fbits) | feature``; one descent level is
+    ``code = Cflat[row * d + (state & fmask)]`` followed by
+    ``state = table[((state >> fbits) << shift) + code]``.  Leaves
+    self-loop, so running the loop for the ensemble's max depth lands
+    every (tree, sample) pair on its leaf.
+    """
+
+    def __init__(self, forest: "ExtraTreesRegressor", pool: PoolCodes) -> None:
+        feat = forest._feature
+        nn = feat.size
+        d = pool.d
+        maxcard = max(c.size for c in pool.columns)
+        shift = 1
+        while (1 << shift) < maxcard:
+            shift += 1
+        fbits = 1
+        while (1 << fbits) < d:
+            fbits += 1
+        card = 1 << shift
+        needs64 = max(nn << shift, nn << fbits, pool.n * d) >= 2**31
+        dtype = np.int64 if needs64 else np.int32
+        packed = ((np.arange(nn, dtype=np.int64) << fbits)
+                  | np.maximum(feat, 0)).astype(dtype)
+        table = np.empty((nn, card), dtype=dtype)
+        table[:] = packed[:, None]  # leaves (and unused codes) self-loop
+        internal = np.flatnonzero(feat >= 0)
+        if internal.size:
+            fi = feat[internal]
+            thr = forest._threshold[internal]
+            cut = np.empty(internal.size, dtype=np.int64)
+            for j in np.unique(fi):
+                sel = fi == j
+                cut[sel] = np.searchsorted(
+                    pool.columns[j], thr[sel], side="right"
+                )
+            go_left = np.arange(card)[None, :] < cut[:, None]
+            table[internal] = np.where(
+                go_left,
+                packed[forest._left[internal], None],
+                packed[forest._right[internal], None],
+            )
+        self._pool = pool
+        self._table = table.reshape(-1)
+        self._dtype = dtype
+        self._shift = shift
+        self._fbits = fbits
+        self._fmask = (1 << fbits) - 1
+        self._depth = forest._max_depth
+        self._value = forest._value
+        self._nt = forest._roots.size
+        # Trees sorted deepest-first: at level L only the prefix of trees
+        # deeper than L still routes, so each tree costs exactly its own
+        # depth instead of the ensemble max.
+        order = np.argsort(-forest._tree_depths, kind="stable")
+        self._order = order
+        self._roots = packed[forest._roots][order]
+        self._active = np.searchsorted(
+            -forest._tree_depths[order], -np.arange(max(self._depth, 1)),
+            side="left",
+        )
+
+    def leaf_values(self, ids: np.ndarray) -> np.ndarray:
+        """Per-tree leaf predictions for pool rows ``ids`` — (nt, m)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        m = ids.size
+        nt = self._nt
+        d = self._pool.d
+        cflat = self._pool.flat
+        table = self._table
+        fmask, fbits, shift = self._fmask, self._fbits, self._shift
+        out = np.empty((nt, m))
+        block = max(1, ROUTER_BLOCK_STATES // max(nt, 1))
+        for s in range(0, m, block):
+            e = min(s + block, m)
+            blk = e - s
+            st = np.repeat(self._roots, blk).reshape(nt, blk)
+            row_d = (ids[s:e] * d).astype(self._dtype)[None, :]
+            for lvl in range(self._depth):
+                a = int(self._active[lvl])
+                part = st[:a]
+                code = cflat[row_d + (part & fmask)]
+                st[:a] = table[((part >> fbits) << shift) + code]
+            out[:, s:e] = self._value[st >> fbits]
+        unsorted = np.empty_like(out)
+        unsorted[self._order] = out  # back to seed tree order
+        return unsorted
+
+    def predict(self, ids: np.ndarray) -> np.ndarray:
+        """Ensemble mean over pool rows — bitwise equal to ``predict(X[ids])``."""
+        leaves = self.leaf_values(ids)
+        acc = np.zeros(leaves.shape[1])
+        for row in leaves:  # seed accumulation order: tree 0, 1, ...
+            acc += row
+        return acc / self._nt
+
+    def predict_std(self, ids: np.ndarray) -> np.ndarray:
+        return self.leaf_values(ids).std(axis=0)
 
 
 class ExtraTreesRegressor:
@@ -53,6 +211,15 @@ class ExtraTreesRegressor:
         self.seed = seed
         self._trees: list[ExtraTreeRegressor] = []
         self._fit_count = 0
+        # Packed ensemble arrays (built by _pack after every fit):
+        self._roots: np.ndarray | None = None
+        self._feature: np.ndarray | None = None
+        self._threshold: np.ndarray | None = None
+        self._left: np.ndarray | None = None
+        self._right: np.ndarray | None = None
+        self._value: np.ndarray | None = None
+        self._max_depth = 0
+        self._tree_depths: np.ndarray | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "ExtraTreesRegressor":
         """(Re)fit the whole ensemble; refits advance the random streams."""
@@ -67,15 +234,85 @@ class ExtraTreesRegressor:
             tree.fit(X, y)
             self._trees.append(tree)
         self._fit_count += 1
+        self._pack()
         return self
+
+    def _pack(self) -> None:
+        """Concatenate per-tree node arrays, rebasing child pointers."""
+        counts = np.array([t.node_count for t in self._trees], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        self._roots = offsets[:-1]
+        self._feature = np.concatenate([t._feature for t in self._trees])
+        self._threshold = np.concatenate([t._threshold for t in self._trees])
+        self._value = np.concatenate([t._value for t in self._trees])
+        left = np.concatenate(
+            [np.where(t._left >= 0, t._left + off, -1)
+             for t, off in zip(self._trees, offsets)]
+        )
+        right = np.concatenate(
+            [np.where(t._right >= 0, t._right + off, -1)
+             for t, off in zip(self._trees, offsets)]
+        )
+        self._left = left
+        self._right = right
+        # Per-tree and ensemble max depth (one level-order frontier walk
+        # over all trees, each node tagged with its tree) — the router
+        # descends each tree exactly its own depth, so the per-tree values
+        # bound the useful work.
+        depths = np.zeros(len(self._trees), dtype=np.int64)
+        cur = self._roots
+        tid = np.arange(len(self._trees), dtype=np.int64)
+        level = 0
+        while cur.size:
+            keep = self._feature[cur] >= 0
+            cur = cur[keep]
+            tid = tid[keep]
+            if cur.size == 0:
+                break
+            level += 1
+            depths[tid] = level
+            cur = np.concatenate((left[cur], right[cur]))
+            tid = np.concatenate((tid, tid))
+        self._max_depth = level
+        self._tree_depths = depths
+
+    def make_router(self, pool: PoolCodes | None) -> "PoolRouter | None":
+        """Compile this fit's trees into a :class:`PoolRouter` over ``pool``
+        (None in, None out — callers thread the fallback through)."""
+        if not self._trees:
+            raise SearchError("forest has not been fit")
+        if pool is None:
+            return None
+        return PoolRouter(self, pool)
+
+    def _leaf_values(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree leaf predictions, shape ``(n_estimators, n_samples)``.
+
+        One active-set descent over all (tree, sample) pairs at once: each
+        pair starts at its tree's root and the loop runs until every pair
+        sits on a leaf (bounded by the deepest tree).
+        """
+        n = X.shape[0]
+        nt = len(self._trees)
+        cur = np.repeat(self._roots, n)  # row-major (tree, sample) order
+        sample = np.tile(np.arange(n, dtype=np.int64), nt)
+        active = np.flatnonzero(self._feature[cur] >= 0)
+        while active.size:
+            node = cur[active]
+            go_left = X[sample[active], self._feature[node]] <= self._threshold[node]
+            nxt = np.where(go_left, self._left[node], self._right[node])
+            cur[active] = nxt
+            active = active[self._feature[nxt] >= 0]
+        return self._value[cur].reshape(nt, n)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         if not self._trees:
             raise SearchError("forest has not been fit")
         X = np.asarray(X, dtype=np.float64)
+        leaves = self._leaf_values(X)
         acc = np.zeros(X.shape[0])
-        for tree in self._trees:
-            acc += tree.predict(X)
+        for row in leaves:  # seed accumulation order: tree 0, 1, ...
+            acc += row
         return acc / len(self._trees)
 
     def predict_std(self, X: np.ndarray) -> np.ndarray:
@@ -83,8 +320,7 @@ class ExtraTreesRegressor:
         if not self._trees:
             raise SearchError("forest has not been fit")
         X = np.asarray(X, dtype=np.float64)
-        preds = np.stack([t.predict(X) for t in self._trees])
-        return preds.std(axis=0)
+        return self._leaf_values(X).std(axis=0)
 
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Coefficient of determination R^2 on (X, y)."""

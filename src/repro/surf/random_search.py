@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import CheckpointError, SearchError
 from repro.surf.checkpoint import SearchCheckpointer, rng_state, set_rng_state
+from repro.surf.pool import GrowableArray, as_pool
 from repro.surf.search import SearchResult
 from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.space import ProgramConfig
@@ -50,16 +51,19 @@ class RandomSearch:
         telemetry: SearchTelemetry | None = None,
         checkpointer: SearchCheckpointer | None = None,
     ) -> SearchResult:
-        if not pool:
+        pool = as_pool(pool)
+        n = len(pool)
+        if n == 0:
             raise SearchError("configuration pool is empty")
         if telemetry is None:
             telemetry = SearchTelemetry()
         rng = spawn_rng(self.seed, "random-driver")
-        nmax = min(self.max_evaluations, len(pool))
-        queue: list[int] = []
+        nmax = min(self.max_evaluations, n)
         history: list[tuple[ProgramConfig, float]] = []
-        hist_ids: list[int] = []
+        hist_ids = GrowableArray(np.int64)
+        y_hist = GrowableArray(np.float64)
         useful = 0
+        best_y = float("inf")
         state = checkpointer.resume_state if checkpointer is not None else None
         if state is not None:
             if state.get("searcher") != self.name:
@@ -67,57 +71,69 @@ class RandomSearch:
                     f"checkpoint belongs to searcher {state.get('searcher')!r}, "
                     f"cannot resume with {self.name!r}"
                 )
-            for i, y in state["history"]:
-                i, y = int(i), float(y)
-                history.append((pool[i], y))
-                hist_ids.append(i)
-                if np.isfinite(y):
-                    useful += 1
-            queue = [int(i) for i in state["queue"]]
+            ids = [int(i) for i, _y in state["history"]]
+            ys = [float(y) for _i, y in state["history"]]
+            for cfg, y in zip(pool.configs(ids), ys):
+                history.append((cfg, y))
+            hist_ids.extend(ids)
+            y_hist.extend(ys)
+            useful = int(np.isfinite(np.array(ys)).sum()) if ys else 0
+            if ys:
+                best_y = min(ys)
+            queue = np.asarray(state["queue"], dtype=np.int64)
             set_rng_state(rng, state["rng_state"])
             telemetry.restore_state(state["telemetry"])
         else:
-            queue = rng.choice(len(pool), size=nmax, replace=False).tolist()
+            queue = rng.choice(n, size=nmax, replace=False)
         while useful < nmax:
-            if not queue:
+            if queue.size == 0:
                 # Replenish: failures burned part of the draw — top it up
                 # from the untouched remainder of the pool.
-                seen = set(hist_ids)
-                leftovers = [i for i in range(len(pool)) if i not in seen]
-                if not leftovers:
+                leftovers = np.setdiff1d(
+                    np.arange(n, dtype=np.int64), hist_ids.view
+                )
+                if leftovers.size == 0:
                     break
                 pick = rng.choice(
-                    len(leftovers), size=min(nmax - useful, len(leftovers)),
+                    leftovers.size,
+                    size=min(nmax - useful, leftovers.size),
                     replace=False,
                 )
-                queue = [leftovers[i] for i in pick.tolist()]
-            ids = queue[: min(self.batch_size, nmax - useful)]
+                queue = leftovers[pick]
+            k = min(self.batch_size, nmax - useful)
+            ids = queue[:k].tolist()
             queue = queue[len(ids):]
-            configs = [pool[i] for i in ids]
-            for i, (cfg, y) in enumerate(zip(configs, evaluate_batch(configs))):
-                y = float(y)
+            configs = pool.configs(ids)
+            raw = evaluate_batch(configs)
+            got = min(len(configs), len(raw))  # zip semantics, as before
+            ys = [float(y) for y in raw[:got]]
+            for cfg, y in zip(configs, ys):
                 history.append((cfg, y))
-                hist_ids.append(ids[i])
-                if np.isfinite(y):
-                    useful += 1
+            hist_ids.extend(ids[:got])
+            y_hist.extend(ys)
+            useful += int(np.isfinite(np.array(ys)).sum())
+            if ys:
+                best_y = min(best_y, min(ys))
             telemetry.record_batch(
                 batch_size=len(configs),
-                best_so_far=min(y for _c, y in history),
+                best_so_far=best_y,
             )
             if checkpointer is not None:
                 checkpointer.save(
                     {
                         "searcher": self.name,
                         "history": [
-                            [i, y] for i, (_c, y) in zip(hist_ids, history)
+                            [i, y]
+                            for i, y in zip(
+                                hist_ids.view.tolist(), y_hist.view.tolist()
+                            )
                         ],
-                        "queue": list(queue),
+                        "queue": queue.tolist(),
                         "rng_state": rng_state(rng),
                         "telemetry": telemetry.snapshot_state(),
                     }
                 )
-        ys = np.array([y for _c, y in history])
-        best_i = int(np.argmin(ys))
+        best_i = int(np.argmin(y_hist.view))
         return SearchResult(
             searcher=self.name,
             best_config=history[best_i][0],

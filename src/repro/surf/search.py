@@ -19,6 +19,13 @@ The surrogate is the extremely-randomized-trees ensemble over binarized
 features.  Determinism: sampling, tree fitting and tie-breaking all run on
 seeded substreams.
 
+The driver is array-native: the pool is ids (see :mod:`repro.surf.pool`),
+the not-yet-dispatched set is a boolean mask, history accumulates in
+growable arrays, selection takes the bottom-k by argpartition, and
+prediction over the pool runs through the forest's coded router
+(:mod:`repro.surf.forest`).  Config objects are materialized only for
+evaluation batches, the champion, and checkpoints.
+
 Fault tolerance (see :mod:`repro.surf.resilience`): failed evaluations
 come back as ``+inf`` observations.  They enter the history (the search
 *learned* the point is bad) but are clamped to the penalty value before
@@ -43,12 +50,40 @@ from repro.obs.tracer import get_tracer
 from repro.surf.binarize import FeatureBinarizer, OrdinalEncoder
 from repro.surf.checkpoint import SearchCheckpointer, rng_state, set_rng_state
 from repro.surf.evaluator import PENALTY_SECONDS
-from repro.surf.forest import ExtraTreesRegressor
+from repro.surf.forest import ExtraTreesRegressor, pool_codes
+from repro.surf.pool import SMALL_POOL_LIMIT, GrowableArray, as_pool
 from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.space import ProgramConfig
 from repro.util.rng import spawn_rng
 
 __all__ = ["SearchResult", "SURFSearch", "clamp_targets"]
+
+
+def _bottom_k_stable(keys: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest keys, ranked — exactly
+    ``np.argsort(keys, kind="stable")[:k]`` without the full sort."""
+    n = keys.size
+    if k >= n:
+        return np.argsort(keys, kind="stable")
+    part = np.argpartition(keys, k - 1)[:k]
+    pivot = keys[part].max()
+    strict = np.flatnonzero(keys < pivot)
+    ranked = strict[np.argsort(keys[strict], kind="stable")]
+    ties = np.flatnonzero(keys == pivot)[: k - strict.size]
+    return np.concatenate((ranked, ties))
+
+
+def _bottom_k_lex(preds: np.ndarray, perm: np.ndarray, k: int) -> np.ndarray:
+    """Bottom-``k`` of the (preds, perm) lexicographic order — exactly
+    ``np.lexsort((perm, preds))[:k]``, sorting only the candidate slice."""
+    n = preds.size
+    if k >= n:
+        return np.lexsort((perm, preds))[:k]
+    part = np.argpartition(preds, k - 1)[:k]
+    pivot = preds[part].max()
+    cand = np.flatnonzero(preds <= pivot)  # superset: all possible winners
+    ranked = cand[np.lexsort((perm[cand], preds[cand]))]
+    return ranked[:k]
 
 
 def clamp_targets(y: np.ndarray) -> np.ndarray:
@@ -76,12 +111,10 @@ class SearchResult:
 
     def best_so_far(self) -> list[float]:
         """Running minimum of the objective — the convergence curve."""
-        out: list[float] = []
-        best = float("inf")
-        for _cfg, y in self.history:
-            best = min(best, y)
-            out.append(best)
-        return out
+        if not self.history:
+            return []
+        ys = np.array([y for _cfg, y in self.history])
+        return np.minimum.accumulate(ys).tolist()
 
 
 class SURFSearch:
@@ -111,6 +144,7 @@ class SURFSearch:
         explore_fraction: float = 0.2,
         log_objective: bool = True,
         binarize: bool = True,
+        tie_break: str = "lexsort",
     ) -> None:
         """``explore_fraction`` of each batch is drawn at random instead of
         by predicted rank (keeps the surrogate from tunnel-visioning on one
@@ -119,11 +153,22 @@ class SURFSearch:
         on log-times: the objective spans microseconds to multi-second
         penalty values, and variance-reduction splits in linear space see
         only the penalties.  ``binarize=False`` swaps the paper's feature
-        binarization for a naive ordinal encoding (ablation)."""
+        binarization for a naive ordinal encoding (ablation).
+
+        ``tie_break`` picks how equal predictions are ordered within a
+        batch.  ``"lexsort"`` (default) ranks by ``(prediction, seeded
+        permutation)`` — scale-independent, ties always randomized.
+        ``"jitter"`` is the historical scheme (add ``uniform(0, 1e-12)``
+        and stable-sort): at prediction magnitudes ≳1 the jitter is
+        absorbed into the float and ties break by pool order instead; it
+        is kept because existing checkpoints/baselines pin its exact rng
+        stream."""
         if batch_size < 1 or max_evaluations < 1:
             raise SearchError("batch size and evaluation budget must be >= 1")
         if not 0.0 <= explore_fraction < 1.0:
             raise SearchError("explore_fraction must be in [0, 1)")
+        if tie_break not in ("lexsort", "jitter"):
+            raise SearchError("tie_break must be 'lexsort' or 'jitter'")
         self.batch_size = batch_size
         self.max_evaluations = max_evaluations
         self.n_estimators = n_estimators
@@ -132,6 +177,7 @@ class SURFSearch:
         self.explore_fraction = explore_fraction
         self.log_objective = log_objective
         self.binarize = binarize
+        self.tie_break = tie_break
 
     def search(
         self,
@@ -148,69 +194,85 @@ class SURFSearch:
         restored before the first — the continued run is bitwise identical
         to one that was never interrupted.
         """
-        if not pool:
+        pool = as_pool(pool)
+        n = len(pool)
+        if n == 0:
             raise SearchError("configuration pool is empty")
         if telemetry is None:
             telemetry = SearchTelemetry()
         rng = spawn_rng(self.seed, "surf-driver")
         encoder = FeatureBinarizer() if self.binarize else OrdinalEncoder()
-        X_all = encoder.fit_transform([c.features() for c in pool])
+        X_all = pool.design_matrix(encoder)
+        # Coded twin of X_all for the router fast path (None if any column
+        # is too wide — prediction then falls back to float descent).
+        codes = pool_codes(X_all)
 
-        remaining = list(range(len(pool)))
-        nmax = min(self.max_evaluations, len(pool))
+        alive = np.ones(n, dtype=bool)  # not yet dispatched
+        nmax = min(self.max_evaluations, n)
 
         history: list[tuple[ProgramConfig, float]] = []
-        hist_ids: list[int] = []
-        X_out: list[np.ndarray] = []
-        y_out: list[float] = []
+        hist_ids = GrowableArray(np.int64)
+        y_hist = GrowableArray(np.float64)
         useful = 0  # finite observations — what the nmax budget buys
+        best_y = float("inf")
         model = ExtraTreesRegressor(
             n_estimators=self.n_estimators,
             max_depth=self.max_depth,
             seed=self.seed,
         )
+        router = None
 
         def run_batch(ids: list[int]) -> None:
-            nonlocal useful
-            configs = [pool[i] for i in ids]
+            nonlocal useful, best_y
+            configs = pool.configs(ids)
             ys = evaluate_batch(configs)
             if len(ys) != len(configs):
                 raise SearchError("evaluator returned a mismatched batch")
-            for i, y in zip(ids, ys):
-                y = float(y)
-                history.append((pool[i], y))
-                hist_ids.append(i)
-                X_out.append(X_all[i])
-                y_out.append(y)
-                if np.isfinite(y):
-                    useful += 1
+            ys = [float(y) for y in ys]
+            for cfg, y in zip(configs, ys):
+                history.append((cfg, y))
+            hist_ids.extend(ids)
+            y_hist.extend(ys)
+            useful += int(np.isfinite(np.array(ys)).sum())
+            best_y = min(best_y, min(ys))
 
         def targets() -> np.ndarray:
-            y = clamp_targets(np.array(y_out))
+            y = clamp_targets(y_hist.view)
             return np.log(np.maximum(y, 1e-12)) if self.log_objective else y
 
         def refit(model) -> float:
+            nonlocal router
             with get_tracer().span(
-                "search.fit", category="search", observations=len(y_out)
+                "search.fit", category="search", observations=len(y_hist)
             ):
                 start = time.perf_counter()
-                model.fit(np.stack(X_out), targets())
+                model.fit(X_all[hist_ids.view], targets())
+                router = model.make_router(codes)
                 return time.perf_counter() - start
 
         def save_checkpoint() -> None:
             if checkpointer is None:
                 return
-            checkpointer.save(
+            state = {
+                "searcher": self.name,
+                "history": [
+                    [i, y]
+                    for i, y in zip(hist_ids.view.tolist(), y_hist.view.tolist())
+                ],
+            }
+            if n <= SMALL_POOL_LIMIT:
+                # Seed-compatible layout; huge pools derive the remaining
+                # set from the history on load instead of storing it.
+                state["remaining"] = np.flatnonzero(alive).tolist()
+            state.update(
                 {
-                    "searcher": self.name,
-                    "history": [[i, y] for i, y in zip(hist_ids, y_out)],
-                    "remaining": list(remaining),
                     "useful": useful,
                     "rng_state": rng_state(rng),
                     "fits": model._fit_count,
                     "telemetry": telemetry.snapshot_state(),
                 }
             )
+            checkpointer.save(state)
 
         state = checkpointer.resume_state if checkpointer is not None else None
         if state is not None:
@@ -219,15 +281,20 @@ class SURFSearch:
                     f"checkpoint belongs to searcher {state.get('searcher')!r}, "
                     f"cannot resume with {self.name!r}"
                 )
-            for i, y in state["history"]:
-                i, y = int(i), float(y)
-                history.append((pool[i], y))
-                hist_ids.append(i)
-                X_out.append(X_all[i])
-                y_out.append(y)
-                if np.isfinite(y):
-                    useful += 1
-            remaining = [int(i) for i in state["remaining"]]
+            ids = [int(i) for i, _y in state["history"]]
+            ys = [float(y) for _i, y in state["history"]]
+            for cfg, y in zip(pool.configs(ids), ys):
+                history.append((cfg, y))
+            hist_ids.extend(ids)
+            y_hist.extend(ys)
+            useful = int(np.isfinite(np.array(ys)).sum()) if ys else 0
+            if ys:
+                best_y = min(ys)
+            if "remaining" in state:
+                alive[:] = False
+                alive[np.asarray(state["remaining"], dtype=np.int64)] = True
+            else:
+                alive[hist_ids.view] = False
             set_rng_state(rng, state["rng_state"])
             telemetry.restore_state(state["telemetry"])
             # Rebuild the surrogate the interrupted run was holding: rewind
@@ -235,45 +302,60 @@ class SURFSearch:
             # re-derives the same substreams, so the forest (and every
             # prediction the continuation makes) is bitwise identical.
             model._fit_count = max(0, int(state["fits"]) - 1)
-            if X_out:
+            if len(hist_ids):
                 refit(model)
         else:
             # Initialization: random batch.
             first = min(self.batch_size, nmax)
-            pick = rng.choice(len(remaining), size=first, replace=False)
-            batch_ids = [remaining[i] for i in sorted(pick.tolist())]
-            remaining = [i for i in remaining if i not in set(batch_ids)]
+            pick = rng.choice(n, size=first, replace=False)
+            batch_ids = sorted(int(i) for i in pick)
+            alive[batch_ids] = False
             run_batch(batch_ids)
             fit_s = refit(model)
             telemetry.record_batch(
                 batch_size=len(batch_ids),
-                best_so_far=min(y_out),
+                best_so_far=best_y,
                 fit_seconds=fit_s,
             )
             save_checkpoint()
 
-        while useful < nmax and remaining:
-            bs = min(self.batch_size, nmax - useful, len(remaining))
+        while useful < nmax and alive.any():
+            alive_ids = np.flatnonzero(alive)
+            m = alive_ids.size
+            bs = min(self.batch_size, nmax - useful, m)
             n_explore = min(int(round(bs * self.explore_fraction)), bs - 1)
-            preds = model.predict(X_all[remaining])
-            # Select the best-predicted configurations; jitter breaks ties
-            # deterministically via the seeded stream.
-            jitter = rng.uniform(0, 1e-12, size=len(remaining))
-            order = np.argsort(preds + jitter, kind="stable")
-            batch_ids = [remaining[i] for i in order[: bs - n_explore].tolist()]
+            take = bs - n_explore
+            preds = (
+                router.predict(alive_ids)
+                if router is not None
+                else model.predict(X_all[alive_ids])
+            )
+            if self.tie_break == "jitter":
+                jitter = rng.uniform(0, 1e-12, size=m)
+                sel = _bottom_k_stable(preds + jitter, take)
+            else:
+                perm = rng.permutation(m)
+                sel = _bottom_k_lex(preds, perm, take)
+            batch_ids = alive_ids[sel].tolist()
             if n_explore:
-                leftovers = [i for i in remaining if i not in set(batch_ids)]
-                pick = rng.choice(len(leftovers), size=min(n_explore, len(leftovers)), replace=False)
-                batch_ids.extend(leftovers[i] for i in sorted(pick.tolist()))
-            remaining = [i for i in remaining if i not in set(batch_ids)]
+                keep = np.ones(m, dtype=bool)
+                keep[sel] = False
+                leftovers = alive_ids[keep]
+                pick = rng.choice(
+                    leftovers.size,
+                    size=min(n_explore, leftovers.size),
+                    replace=False,
+                )
+                batch_ids.extend(leftovers[np.sort(pick)].tolist())
+            alive[batch_ids] = False
             run_batch(batch_ids)
             fit_s = refit(model)
             telemetry.record_batch(
-                batch_size=len(batch_ids), best_so_far=min(y_out), fit_seconds=fit_s
+                batch_size=len(batch_ids), best_so_far=best_y, fit_seconds=fit_s
             )
             save_checkpoint()
 
-        best_i = int(np.argmin(y_out))
+        best_i = int(np.argmin(y_hist.view))
         return SearchResult(
             searcher=self.name,
             best_config=history[best_i][0],

@@ -115,7 +115,31 @@ class ExtraTreeRegressor:
     def _draw_split(
         self, X_node: np.ndarray, y_node: np.ndarray
     ) -> tuple[int, float] | None:
-        """Pick the best of K random (feature, uniform threshold) candidates."""
+        """Pick the best of K random (feature, uniform threshold) candidates.
+
+        The scalar per-candidate loop this replaced (see
+        ``_legacy.LegacyExtraTreeRegressor``) is the bitwise reference:
+        fits must pick the same candidate at every node, or the recursion
+        (and the tree's rng stream) diverges.  Two mechanisms keep the
+        vectorized version aligned:
+
+        * rng parity — ``rng.uniform(lo[cands], hi[cands])`` consumes the
+          bit stream in element order, drawing exactly the doubles the
+          scalar ``uniform(lo[f], hi[f])`` sequence drew.
+        * filter + exact rescore — the fast scores come from the textbook
+          ``sum(y^2) - sum(y)^2/n`` identity over two matvecs, while the
+          scalar ``y_node[mask].var()`` is a two-pass compacted-array
+          reduction; the two differ by float reassociation/cancellation in
+          the last ulps, and near-ties are *common* (binarized features
+          come in complementary one-hot pairs that partition identically).
+          The vectorized scores are therefore only a prefilter: everything
+          within a rigorous float-error margin of the top is rescored with
+          the scalar expression verbatim (one ``var`` pair per *distinct
+          partition* — complementary and duplicate partitions provably
+          score bitwise-equal, so they share the rescore), in candidate
+          order with strict ``>`` (first wins).  Candidates outside the
+          margin are provably strict losers under either summation order.
+        """
         n, d = X_node.shape
         lo = X_node.min(axis=0)
         hi = X_node.max(axis=0)
@@ -124,22 +148,70 @@ class ExtraTreeRegressor:
             return None
         k = usable.size if self.max_features is None else min(self.max_features, usable.size)
         candidates = self.rng.choice(usable, size=k, replace=False)
+        ts = self.rng.uniform(lo[candidates], hi[candidates])
+        masks = X_node[:, candidates] <= ts  # (n, k)
+        nl = masks.sum(axis=0)
+        valid = (nl > 0) & (nl < n)
+        if not valid.any():
+            return None
+        nl_f = np.maximum(nl, 1).astype(np.float64)
+        nr_f = np.maximum(n - nl, 1).astype(np.float64)
+        M = masks.astype(np.float64)
+        y_sq = y_node * y_node
+        sum_l = y_node @ M
+        sumsq_l = y_sq @ M
+        total_sum = float(y_node.sum())
+        total_sq = float(y_sq.sum())
+        ss_l = sumsq_l - sum_l * sum_l / nl_f
+        sum_r = total_sum - sum_l
+        ss_r = (total_sq - sumsq_l) - sum_r * sum_r / nr_f
         total_var = y_node.var() * n
-        best: tuple[int, float] | None = None
-        best_score = -np.inf
-        for f in candidates:
-            t = float(self.rng.uniform(lo[f], hi[f]))
-            mask = X_node[:, f] <= t
-            nl = int(mask.sum())
-            if nl == 0 or nl == n:
-                continue
-            yl = y_node[mask]
-            yr = y_node[~mask]
-            score = total_var - (yl.var() * nl + yr.var() * (n - nl))
-            if score > best_score:
-                best_score = score
-                best = (int(f), t)
-        return best
+        scores = np.where(valid, total_var - (ss_l + ss_r), -np.inf)
+        smax = float(scores.max())
+        # Margin: every sum above has error bounded by n*eps times the
+        # magnitude of what was summed (<= n*max|y|^2), and the ss identity
+        # adds cancellation of the same magnitude; 128x headroom on top.
+        # Everything at least `margin` below the vectorized top is a strict
+        # loser under exact rescoring too.
+        eps = np.finfo(np.float64).eps
+        scale = abs(total_var) + total_sq + abs(total_sum) + 1.0
+        margin = 128.0 * n * eps * scale
+        near = np.flatnonzero(scores >= smax - margin)
+        if near.size > 1:
+            # One exact score per distinct partition: complementary masks
+            # swap yl/yr, and the two-term cost is add-commutative, so
+            # twins are bitwise-equal by construction.  Canonicalize the
+            # complement away and group (tiny group count — a dict beats
+            # np.unique here).
+            sub = masks[:, near]
+            packed = np.ascontiguousarray(np.packbits(sub ^ sub[0], axis=0).T)
+            groups: dict[bytes, float] = {}
+            exact = np.empty(near.size)
+            for c in range(near.size):
+                key = packed[c].tobytes()
+                score = groups.get(key)
+                if score is None:
+                    mask = masks[:, near[c]]
+                    yl = y_node[mask]
+                    yr = y_node[~mask]
+                    # yl.var() * nl + yr.var() * nr, with np.var's exact
+                    # float semantics spelled out via raw reductions:
+                    nl_c = yl.size
+                    nr_c = n - nl_c
+                    ml = np.add.reduce(yl) / nl_c
+                    mr = np.add.reduce(yr) / nr_c
+                    dl = yl - ml
+                    dr = yr - mr
+                    score = total_var - (
+                        (np.add.reduce(dl * dl) / nl_c) * nl_c
+                        + (np.add.reduce(dr * dr) / nr_c) * nr_c
+                    )
+                    groups[key] = score
+                exact[c] = score
+            best = int(near[int(np.argmax(exact))])  # first max: first-wins
+        else:
+            best = int(near[0])
+        return (int(candidates[best]), float(ts[best]))
 
     # ------------------------------------------------------------------
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -173,12 +245,15 @@ class ExtraTreeRegressor:
         """Maximum depth of the fitted tree (0 = a single leaf)."""
         if self._feature is None:
             raise SearchError("tree has not been fit")
-        depths = {0: 0}
-        best = 0
-        for node in range(self.node_count):
-            d = depths[node]
-            best = max(best, d)
-            if self._feature[node] >= 0:
-                depths[int(self._left[node])] = d + 1
-                depths[int(self._right[node])] = d + 1
-        return best
+        # Level-order frontier walk on the flat arrays: the answer is the
+        # last level that still has nodes.
+        frontier = np.array([0], dtype=np.int64)
+        level = 0
+        while True:
+            internal = frontier[self._feature[frontier] >= 0]
+            if internal.size == 0:
+                return level
+            frontier = np.concatenate(
+                (self._left[internal], self._right[internal])
+            )
+            level += 1

@@ -152,6 +152,7 @@ class KernelSpace:
                 "constraint; candidate lists are inconsistent"
             )
         self._index = {cfg: i for i, cfg in enumerate(self._configs)}
+        self._feature_tables: dict[str, object] | None = None
 
     def _enumerate(self, serial_orders_for) -> tuple[KernelConfig, ...]:
         out: list[KernelConfig] = []
@@ -194,6 +195,36 @@ class KernelSpace:
             raise ConfigurationError(
                 f"configuration {config.describe()} is not in this kernel space"
             ) from None
+
+    def feature_tables(self) -> dict[str, object]:
+        """Columnar view of every config's surrogate features (cached).
+
+        Categorical attributes (``tx``/``ty``/``bx``/``by``/``inner``) map
+        to ``(codes, vocab)`` — ``vocab[codes[i]]`` is config ``i``'s
+        value; ``unroll`` maps to a float64 value array.  The array-native
+        feature pipeline gathers these by kernel-space digit instead of
+        materializing ``ProgramConfig.features()`` dicts.
+        """
+        if self._feature_tables is None:
+            def table(values: list[str]) -> tuple[np.ndarray, tuple[str, ...]]:
+                vocab = tuple(sorted(set(values)))
+                index = {v: c for c, v in enumerate(vocab)}
+                codes = np.array([index[v] for v in values], dtype=np.int64)
+                return codes, vocab
+
+            self._feature_tables = {
+                "tx": table([c.tx for c in self._configs]),
+                "ty": table([c.ty for c in self._configs]),
+                "bx": table([c.bx for c in self._configs]),
+                "by": table([c.by for c in self._configs]),
+                "inner": table(
+                    [c.innermost_serial or "-" for c in self._configs]
+                ),
+                "unroll": np.array(
+                    [float(c.unroll) for c in self._configs]
+                ),
+            }
+        return self._feature_tables
 
 
 @dataclass
@@ -303,6 +334,32 @@ class TuningSpace:
 
     def sample_pool(self, count: int, rng: np.random.Generator) -> list[ProgramConfig]:
         return [self.config_at(g) for g in self.sample_ids(count, rng)]
+
+    def decode_rows(
+        self, ids: Sequence[int] | np.ndarray
+    ) -> list[tuple[int, np.ndarray, list[np.ndarray]]]:
+        """Vectorized mixed-radix decode of *sorted* global ids.
+
+        Returns ``(variant_pos, rows, digits)`` per variant with any hits:
+        ``rows`` are positions within ``ids`` and ``digits[k]`` indexes
+        ``program_spaces[variant_pos].kernel_spaces[k]`` — the whole-pool
+        equivalent of :meth:`config_at`'s binary search + divmod loop.
+        """
+        arr = np.asarray(ids, dtype=np.int64)
+        out: list[tuple[int, np.ndarray, list[np.ndarray]]] = []
+        for pos, ps in enumerate(self.program_spaces):
+            lo = self._offsets[pos]
+            s = int(np.searchsorted(arr, lo, side="left"))
+            e = int(np.searchsorted(arr, lo + ps.size(), side="left"))
+            if s == e:
+                continue
+            local = arr[s:e] - lo
+            digits: list[np.ndarray] = []
+            for ks in reversed(ps.kernel_spaces):
+                local, d = np.divmod(local, len(ks))
+                digits.append(d)
+            out.append((pos, np.arange(s, e, dtype=np.int64), digits[::-1]))
+        return out
 
     def global_id_for(self, variant_pos: int, local_index: int) -> int:
         """Global id of ``local_index`` within the ``variant_pos``-th space."""

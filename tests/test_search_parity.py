@@ -1,0 +1,306 @@
+"""Bitwise parity of the array-native search core against the seed code.
+
+The array-native rebuild (id pools, coded router, mask bookkeeping) claims
+*bitwise* parity with the object-at-a-time implementation it replaced when
+run in ``tie_break="jitter"`` mode: the same rng draws in the same order,
+the same fits, the same champion, the same history, the same checkpoint
+bytes.  :mod:`repro.surf._legacy` preserves the replaced implementation
+verbatim; this suite pins the new drivers against it across SURF/random/
+exhaustive, binarize on and off, fault injection on, and resume-mid-run.
+
+It also pins the pieces the drivers are built from — the space-fed design
+matrix against the per-config ``features()`` dict path, and the coded
+router against float tree descent — and covers the ``tie_break="lexsort"``
+regression (jitter is absorbed at large prediction magnitudes; lexsort is
+scale-independent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.arch import GTX980
+from repro.gpusim.perfmodel import GPUPerformanceModel
+from repro.surf import (
+    ConfigurationEvaluator,
+    ExhaustiveSearch,
+    FaultInjectingEvaluator,
+    FaultSpec,
+    FeatureBinarizer,
+    OrdinalEncoder,
+    RandomSearch,
+    ResilientEvaluator,
+    SURFSearch,
+    SpacePool,
+)
+from repro.surf._legacy import (
+    LegacyExhaustiveSearch,
+    LegacyRandomSearch,
+    LegacySURFSearch,
+)
+from repro.surf.checkpoint import CheckpointManager, SearchCheckpointer
+from repro.surf.forest import ExtraTreesRegressor, pool_codes
+from repro.surf.search import _bottom_k_lex, _bottom_k_stable
+from repro.tcr.decision import decide_search_space
+from repro.tcr.space import TuningSpace
+from repro.util.rng import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    from repro.core.pipeline import compile_contraction
+    from repro.dsl.parser import parse_contraction
+
+    from tests.conftest import EQN1_TEXT
+
+    contraction = parse_contraction(EQN1_TEXT, name="eqn1")
+    program = compile_contraction(contraction).minimal_flop_variants()[0].program
+    space = TuningSpace([decide_search_space(program)])
+    ids = space.sample_ids(min(300, space.size()), spawn_rng(0, "parity-pool"))
+    pool = [space.config_at(i) for i in sorted(ids)]
+    model = GPUPerformanceModel(GTX980)
+    return program, space, ids, pool, model
+
+
+def _plain_evaluator(program, model):
+    return ConfigurationEvaluator([program], model, seed=0)
+
+
+def _faulty_evaluator(program, model):
+    """Deterministic fault stack: permanent failures surface as +inf."""
+    return ResilientEvaluator(
+        FaultInjectingEvaluator(
+            ConfigurationEvaluator([program], model, seed=0),
+            FaultSpec(compile_rate=0.15, transient_rate=0.1, seed=3),
+        ),
+        max_retries=1,
+    )
+
+
+def _run_pair(new_searcher, legacy_searcher, pool, program, model, tmp_path,
+              make_evaluator=_plain_evaluator):
+    """Run both drivers with checkpointing; return both results + states."""
+    outs = []
+    for tag, searcher in (("new", new_searcher), ("legacy", legacy_searcher)):
+        manager = CheckpointManager(tmp_path / tag)
+        ev = make_evaluator(program, model)
+        result = searcher.search(
+            pool, ev.evaluate_batch,
+            checkpointer=SearchCheckpointer(manager),
+        )
+        outs.append((result, manager.load()["searcher"]))
+    return outs
+
+
+def _assert_same_run(new, legacy, *, state_keys):
+    """Champion, full history, and checkpoint state must match bitwise."""
+    new_result, new_state = new
+    legacy_result, legacy_state = legacy
+    assert new_result.best_objective == legacy_result.best_objective
+    assert new_result.best_config.describe() == legacy_result.best_config.describe()
+    assert [y for _c, y in new_result.history] == [
+        y for _c, y in legacy_result.history
+    ]
+    assert [c.describe() for c, _y in new_result.history] == [
+        c.describe() for c, _y in legacy_result.history
+    ]
+    for key in state_keys:
+        assert new_state[key] == legacy_state[key], f"state[{key!r}] diverged"
+
+
+SURF_STATE_KEYS = ("history", "remaining", "useful", "rng_state", "fits")
+
+
+class TestSURFParity:
+    @pytest.mark.parametrize("binarize", [True, False])
+    def test_bitwise_parity(self, setup, tmp_path, binarize):
+        program, _space, _ids, pool, model = setup
+        kwargs = dict(
+            batch_size=7, max_evaluations=40, seed=11, binarize=binarize
+        )
+        new, legacy = _run_pair(
+            SURFSearch(tie_break="jitter", **kwargs),
+            LegacySURFSearch(**kwargs),
+            pool, program, model, tmp_path,
+        )
+        _assert_same_run(new, legacy, state_keys=SURF_STATE_KEYS)
+
+    def test_bitwise_parity_with_faults(self, setup, tmp_path):
+        program, _space, _ids, pool, model = setup
+        kwargs = dict(batch_size=10, max_evaluations=50, seed=5)
+        new, legacy = _run_pair(
+            SURFSearch(tie_break="jitter", **kwargs),
+            LegacySURFSearch(**kwargs),
+            pool, program, model, tmp_path,
+            make_evaluator=_faulty_evaluator,
+        )
+        new_ys = [y for _c, y in new[0].history]
+        assert any(not np.isfinite(y) for y in new_ys)  # faults actually fire
+        _assert_same_run(new, legacy, state_keys=SURF_STATE_KEYS)
+
+    def test_resume_mid_run_matches_uninterrupted_legacy(self, setup, tmp_path):
+        program, _space, _ids, pool, model = setup
+        kwargs = dict(batch_size=8, max_evaluations=48, seed=7)
+
+        legacy = LegacySURFSearch(**kwargs).search(
+            pool, _plain_evaluator(program, model).evaluate_batch
+        )
+
+        class Interrupt(Exception):
+            pass
+
+        manager = CheckpointManager(tmp_path / "resume")
+        calls = 0
+
+        def dying_evaluate(batch):
+            nonlocal calls
+            calls += 1
+            if calls > 3:
+                raise Interrupt
+            return _plain_evaluator(program, model).evaluate_batch(batch)
+
+        with pytest.raises(Interrupt):
+            SURFSearch(tie_break="jitter", **kwargs).search(
+                pool, dying_evaluate, checkpointer=SearchCheckpointer(manager)
+            )
+
+        ck = SearchCheckpointer(manager)
+        ck.resume_state = manager.load()["searcher"]
+        resumed = SURFSearch(tie_break="jitter", **kwargs).search(
+            pool, _plain_evaluator(program, model).evaluate_batch,
+            checkpointer=ck,
+        )
+        assert resumed.best_objective == legacy.best_objective
+        assert [y for _c, y in resumed.history] == [y for _c, y in legacy.history]
+        assert [c.describe() for c, _y in resumed.history] == [
+            c.describe() for c, _y in legacy.history
+        ]
+
+
+class TestBaselineParity:
+    def test_random_bitwise_parity_with_faults(self, setup, tmp_path):
+        program, _space, _ids, pool, model = setup
+        kwargs = dict(batch_size=9, max_evaluations=60, seed=2)
+        new, legacy = _run_pair(
+            RandomSearch(**kwargs), LegacyRandomSearch(**kwargs),
+            pool, program, model, tmp_path,
+            make_evaluator=_faulty_evaluator,
+        )
+        _assert_same_run(
+            new, legacy, state_keys=("history", "queue", "rng_state")
+        )
+
+    def test_exhaustive_bitwise_parity(self, setup, tmp_path):
+        program, _space, _ids, pool, model = setup
+        kwargs = dict(batch_size=13, limit=90)
+        new, legacy = _run_pair(
+            ExhaustiveSearch(**kwargs), LegacyExhaustiveSearch(**kwargs),
+            pool, program, model, tmp_path,
+            make_evaluator=_faulty_evaluator,
+        )
+        _assert_same_run(
+            new, legacy, state_keys=("history", "best_i", "best_y")
+        )
+
+
+class TestPoolParity:
+    """The space-fed feature path must equal the features()-dict path."""
+
+    @pytest.mark.parametrize("encoder_cls", [FeatureBinarizer, OrdinalEncoder])
+    def test_design_matrix_bitwise(self, setup, encoder_cls):
+        _program, space, ids, pool, _model = setup
+        space_pool = SpacePool(space, ids)
+        X_space = space_pool.design_matrix(encoder_cls())
+
+        dict_encoder = encoder_cls()
+        X_dict = dict_encoder.fit_transform([c.features() for c in pool])
+        assert X_space.shape == X_dict.shape
+        assert np.array_equal(X_space, X_dict)
+
+    def test_fingerprint_matches_materialized(self, setup):
+        _program, space, ids, pool, _model = setup
+        from repro.surf.pool import as_pool
+
+        assert SpacePool(space, ids).fingerprint() == as_pool(pool).fingerprint()
+
+    def test_configs_round_trip(self, setup):
+        _program, space, ids, pool, _model = setup
+        space_pool = SpacePool(space, ids)
+        got = space_pool.configs([0, 5, len(pool) - 1])
+        want = [pool[0], pool[5], pool[-1]]
+        assert [c.describe() for c in got] == [c.describe() for c in want]
+
+
+class TestRouterParity:
+    """Coded-pool descent must equal float descent, bitwise."""
+
+    def test_predict_and_std_bitwise(self, setup):
+        _program, space, ids, _pool, _model = setup
+        X = SpacePool(space, ids).design_matrix(FeatureBinarizer())
+        codes = pool_codes(X)
+        assert codes is not None  # binarized columns are tiny-cardinality
+        rng = spawn_rng(0, "router-parity")
+        train = rng.choice(X.shape[0], size=60, replace=False)
+        y = rng.normal(size=train.size)
+        forest = ExtraTreesRegressor(n_estimators=12, seed=3).fit(X[train], y)
+        router = forest.make_router(codes)
+        sub = rng.choice(X.shape[0], size=150, replace=False)
+        assert np.array_equal(router.predict(sub), forest.predict(X[sub]))
+        assert np.array_equal(
+            router.predict_std(sub), forest.predict_std(X[sub])
+        )
+
+
+class TestTieBreak:
+    """Satellite: equal predictions must not collapse to pool order."""
+
+    def test_jitter_absorbed_at_large_magnitude(self):
+        # eps(16384) ≈ 3.6e-12 > 2 * 1e-12: adding uniform(0, 1e-12) rounds
+        # away, so the historical scheme degenerates to pool order.
+        rng = spawn_rng(0, "tie")
+        preds = np.full(100, 16384.0)
+        jitter = rng.uniform(0, 1e-12, size=preds.size)
+        assert np.array_equal(preds + jitter, preds)  # the defect, pinned
+        sel = _bottom_k_stable(preds + jitter, 10)
+        assert sel.tolist() == list(range(10))  # deterministic bias
+
+    def test_lexsort_randomizes_ties_at_any_magnitude(self):
+        preds = np.full(100, 16384.0)
+        picks = []
+        for seed in range(3):
+            perm = spawn_rng(seed, "tie").permutation(preds.size)
+            sel = _bottom_k_lex(preds, perm, 10)
+            assert np.array_equal(sel, np.lexsort((perm, preds))[:10])
+            picks.append(tuple(sel.tolist()))
+        assert len(set(picks)) == 3  # different seeds, different batches
+        assert all(p != tuple(range(10)) for p in picks)
+
+    def test_bottom_k_helpers_match_full_sorts(self):
+        rng = spawn_rng(1, "bottom-k")
+        for _ in range(20):
+            n = int(rng.integers(3, 200))
+            k = int(rng.integers(1, n + 1))
+            keys = rng.choice([0.0, 1.0, 2.0, np.inf], size=n)  # heavy ties
+            assert np.array_equal(
+                _bottom_k_stable(keys, k),
+                np.argsort(keys, kind="stable")[:k],
+            )
+            perm = rng.permutation(n)
+            assert np.array_equal(
+                _bottom_k_lex(keys, perm, k),
+                np.lexsort((perm, keys))[:k],
+            )
+
+    def test_surf_default_is_lexsort(self):
+        assert SURFSearch().tie_break == "lexsort"
+
+    def test_best_so_far_is_running_minimum(self, setup):
+        program, _space, _ids, pool, model = setup
+        result = SURFSearch(batch_size=10, max_evaluations=30, seed=1).search(
+            pool, _plain_evaluator(program, model).evaluate_batch
+        )
+        curve = result.best_so_far()
+        ys = [y for _c, y in result.history]
+        expect = [min(ys[: i + 1]) for i in range(len(ys))]
+        assert curve == expect
