@@ -41,6 +41,7 @@ from repro.gpusim.cpu import CPUPerformanceModel
 from repro.gpusim.openacc import OpenACCModel
 from repro.surf import SURFSearch, RandomSearch, ExhaustiveSearch, ExtraTreesRegressor
 from repro.autotune import Autotuner, TuneResult
+from repro.serve import ResultStore, TuneRequest, TuningService, tune_contraction
 from repro.workloads import get_workload, workload_names
 
 __version__ = "1.0.0"
@@ -81,6 +82,10 @@ __all__ = [
     "ExtraTreesRegressor",
     "Autotuner",
     "TuneResult",
+    "ResultStore",
+    "TuningService",
+    "TuneRequest",
+    "tune_contraction",
     "get_workload",
     "workload_names",
     "__version__",

@@ -64,6 +64,9 @@ class TuneResult:
     space_size: int
     pool_size: int
     variant_count: int
+    #: True when the run was served from the content-addressed result
+    #: store (zero model evaluations; champion/history replayed bitwise).
+    store_hit: bool = False
 
     @property
     def seconds(self) -> float:
@@ -211,6 +214,15 @@ class Autotuner:
         when set).  Tracing is pure observability: results are bitwise
         identical with it on or off, and no wall-clock field enters any
         fingerprint or checkpoint comparison.
+    result_store:
+        Content-addressed whole-run memoization (see
+        :mod:`repro.serve.store`): a :class:`ResultStore`, a store
+        directory path, or ``None`` (default) to consult
+        ``REPRO_RESULT_STORE``.  A request whose (DSL, arch,
+        calibration, searcher-settings) fingerprints match a stored run
+        is served that run's champion and full history — bitwise
+        identical, zero model evaluations — and every completed miss is
+        stored for the next requester.
     """
 
     def __init__(
@@ -240,6 +252,7 @@ class Autotuner:
         resume: bool = False,
         trace: str | Path | None = None,
         tie_break: str = "lexsort",
+        result_store=None,
     ) -> None:
         """``per_variant=True`` reproduces the paper's OCTOPI flow for
         multi-variant contractions: each algebraic version is autotuned
@@ -292,6 +305,28 @@ class Autotuner:
             self.cache_spec = str(CheckpointManager(self.checkpoint_dir).eval_cache_path)
         self._cache_store: EvaluationCache | None = None
         self._quarantine_store: QuarantineStore | None = None
+        if result_store is None:
+            result_store = os.environ.get("REPRO_RESULT_STORE") or None
+        self.result_store_spec = result_store
+        self._result_store_obj = None
+
+    # ------------------------------------------------------------------
+    def _result_store(self):
+        """The instance-wide result store, or None when disabled.
+
+        Imported lazily: :mod:`repro.serve` wraps this module (the
+        service drives Autotuners), so a top-level import would cycle.
+        """
+        if self.result_store_spec is None:
+            return None
+        if self._result_store_obj is None:
+            from repro.serve.store import ResultStore
+
+            spec = self.result_store_spec
+            self._result_store_obj = (
+                spec if isinstance(spec, ResultStore) else ResultStore(spec)
+            )
+        return self._result_store_obj
 
     # ------------------------------------------------------------------
     def _evaluation_cache(self) -> EvaluationCache | None:
@@ -438,19 +473,70 @@ class Autotuner:
             )
             programs = [v.program for v in compiled.variants]
             self._write_manifests(contraction.name, programs)
-            return self._tune(contraction.name, programs)
+            return self._tune_stored(contraction.name, programs)
 
     def tune_program(self, program: TCRProgram) -> TuneResult:
         """Tune a fixed TCR program (single variant)."""
         with self._observe(program.name):
             self._write_manifests(program.name, [program])
-            return self._tune(program.name, [program])
+            return self._tune_stored(program.name, [program])
 
     def tune_programs(self, name: str, programs: list[TCRProgram]) -> TuneResult:
         """Tune an explicit set of alternative programs (custom variants)."""
         with self._observe(name):
             self._write_manifests(name, programs)
+            return self._tune_stored(name, programs)
+
+    # ------------------------------------------------------------------
+    def _tune_stored(self, name: str, programs: list[TCRProgram]) -> TuneResult:
+        """Serve from the result store when possible; store on a miss.
+
+        The store key is derived from the run manifest — the same
+        fingerprints the provenance layer writes — so "identical
+        request" means exactly "a request whose search would replay
+        bitwise".  A hit reconstructs the champion and full history from
+        the stored record with **zero** model evaluations (the winning
+        program's timing is recomputed deterministically from the
+        champion config, which no noise stream touches).
+        """
+        store = self._result_store()
+        if store is None:
             return self._tune(name, programs)
+        from repro.serve.store import StoreKey, pack_tune_record, unpack_search
+
+        key = StoreKey.from_manifest(self.run_manifest(name, programs))
+        tracer = get_tracer()
+        record = store.get(key)
+        if record is not None:
+            tracer.event(
+                "store.hit", category="store",
+                workload=name, digest=key.digest(),
+            )
+            search = unpack_search(record["search"])
+            if self.telemetry:
+                # A fresh empty telemetry: totals() reports 0 evaluations,
+                # which is literally what this request cost.
+                search.telemetry = SearchTelemetry()
+            best = search.best_config
+            best_program = programs[best.variant_index]
+            return TuneResult(
+                name=name,
+                arch=self.arch,
+                best_config=best,
+                best_program=best_program,
+                timing=self.model.program_timing(best_program, best),
+                search=search,
+                space_size=int(record["space_size"]),
+                pool_size=int(record["pool_size"]),
+                variant_count=int(record["variant_count"]),
+                store_hit=True,
+            )
+        tracer.event(
+            "store.miss", category="store", workload=name, digest=key.digest()
+        )
+        result = self._tune(name, programs)
+        store.put(key, pack_tune_record(result))
+        return result
 
     def _run_fingerprint(self, name: str, pool, space_size: int) -> dict:
         """Identity of a run for checkpoint-resume safety.

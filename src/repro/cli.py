@@ -3,6 +3,8 @@
 Subcommands
 -----------
 ``tune``      autotune a named workload or a DSL file for a GPU
+``submit``    one-call store-backed tuning (hit = instant champion)
+``serve``     run a batch of requests through the multi-worker service
 ``variants``  show OCTOPI's strength-reduction variants for a DSL input
 ``codegen``   emit the Orio annotation / CUDA source for a tuned workload
 ``report``    regenerate the paper's tables and figures
@@ -105,6 +107,56 @@ def build_parser() -> argparse.ArgumentParser:
         "independent randomized ties) or 'jitter' (the historical additive-"
         "jitter stream — use to resume/replay runs recorded under it)",
     )
+    tune.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="content-addressed result store directory: serve the whole "
+        "run from a prior identical one (champion + history, zero model "
+        "evaluations) and record misses for the next requester "
+        "(default: $REPRO_RESULT_STORE or off)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="one-call store-backed tuning: instant champion on a store hit",
+    )
+    submit.add_argument("workload", help="workload name (see `list`) or a DSL file path")
+    submit.add_argument("--arch", default="gtx980", help="gtx980 | k20 | c2050")
+    submit.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="content-addressed result store directory (created if absent)",
+    )
+    submit.add_argument("--evals", type=int, default=100)
+    submit.add_argument("--batch", type=int, default=10)
+    submit.add_argument("--pool", type=int, default=2500)
+    submit.add_argument("--seed", type=int, default=1)
+    submit.add_argument(
+        "--searcher", default="surf",
+        choices=("surf", "random", "exhaustive", "sweep"),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run tuning requests through the multi-worker service",
+    )
+    serve.add_argument(
+        "requests", nargs="+", metavar="WORKLOAD[@ARCH]",
+        help="requests like 'lg3@k20' (ARCH defaults to --arch)",
+    )
+    serve.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="shared content-addressed result store directory",
+    )
+    serve.add_argument("--workers", type=int, default=2, help="concurrent tuning jobs")
+    serve.add_argument("--arch", default="gtx980", help="default architecture")
+    serve.add_argument("--evals", type=int, default=100)
+    serve.add_argument("--batch", type=int, default=10)
+    serve.add_argument("--pool", type=int, default=2500)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace of the whole service run (serve.job "
+        "spans, store.hit/miss events) to FILE",
+    )
 
     variants = sub.add_parser("variants", help="show OCTOPI variants for a DSL input")
     variants.add_argument("dsl", help="DSL file path or inline statement")
@@ -188,8 +240,11 @@ def _run_tune(args: argparse.Namespace) -> int:
         resume=args.resume,
         trace=args.trace,
         tie_break=args.tie_break,
+        result_store=args.store,
     )
     result = workload.tune(tuner)
+    if result.store_hit:
+        print("result store: hit (champion served, zero model evaluations)")
     print(result.summary())
     print(f"device rate (kernels only): {result.timing.device_gflops:.2f} GFlops")
     print(f"best configuration: {result.best_config.describe()}")
@@ -229,6 +284,70 @@ def _run_tune(args: argparse.Namespace) -> int:
     if args.trace:
         print(f"trace written to {args.trace} (manifest.json alongside)")
     return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import tune_contraction
+
+    workload = _load_workload(args.workload)
+    source = workload.contraction if workload.contraction is not None else workload.program
+    result = tune_contraction(
+        source,
+        arch=args.arch,
+        store=args.store,
+        searcher=args.searcher,
+        max_evaluations=args.evals,
+        batch_size=args.batch,
+        pool_size=args.pool,
+        seed=args.seed,
+    )
+    print(f"result store: {'hit' if result.store_hit else 'miss'} ({args.store})")
+    print(result.summary())
+    print(f"best configuration: {result.best_config.describe()}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.exporters import write_chrome_trace
+    from repro.serve.service import JobState, TuneRequest, TuningService
+
+    settings = {
+        "max_evaluations": args.evals,
+        "batch_size": args.batch,
+        "pool_size": args.pool,
+        "seed": args.seed,
+    }
+    requests = []
+    for spec in args.requests:
+        source, _, arch = spec.partition("@")
+        requests.append(
+            TuneRequest(source=source, arch=arch or args.arch, settings=settings)
+        )
+    tracer = Tracer() if args.trace else get_tracer()
+    with use_tracer(tracer) if args.trace else _null_context():
+        with TuningService(args.store, workers=args.workers) as service:
+            ids = [service.submit(request) for request in requests]
+            # Dedup can map several specs to one job; report each spec's job.
+            jobs = [service.wait(job_id) for job_id in ids]
+    if args.trace:
+        write_chrome_trace(tracer.finished(), args.trace)
+        print(f"trace written to {args.trace}")
+    failed = 0
+    for job in jobs:
+        print(job.describe())
+        failed += job.state == JobState.FAILED
+    hits = sum(1 for j in jobs if j.store_hit)
+    print(
+        f"served {len(jobs)} request(s): {hits} store hit(s), "
+        f"{len(jobs) - hits - failed} tuned, {failed} failed"
+    )
+    return 1 if failed else 0
+
+
+def _null_context():
+    from contextlib import nullcontext
+
+    return nullcontext()
 
 
 def _cmd_variants(args: argparse.Namespace) -> int:
@@ -358,6 +477,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "tune":
             return _cmd_tune(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "variants":
             return _cmd_variants(args)
         if args.command == "codegen":

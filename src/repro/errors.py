@@ -110,5 +110,19 @@ class CheckpointError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """A result-store shard is structurally invalid (bad/alien header).
+
+    Distinct from line-level corruption, which is tolerated, counted, and
+    warned about: a shard whose *header* names a different format version
+    (or no header at all on a nonempty file) cannot be merged safely, so
+    the load refuses instead of guessing.
+    """
+
+
+class ServiceError(ReproError):
+    """Bad request to, or invalid use of, the tuning service."""
+
+
 class WorkloadError(ReproError):
     """Unknown benchmark name or malformed workload definition."""

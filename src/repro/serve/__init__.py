@@ -1,0 +1,33 @@
+"""Tuning-as-a-service: result store, job-queue service, one-call client.
+
+The platform layer on top of the single-run engine:
+
+:mod:`repro.serve.store`
+    A content-addressed **result store** — champions *and* full search
+    histories keyed on (DSL hash, arch fingerprint, calibration
+    fingerprint, searcher-settings fingerprint), sharded append-only
+    JSONL safe under many concurrent writers.
+:mod:`repro.serve.service`
+    A long-running **tuning service**: a threaded job queue around
+    :class:`~repro.autotune.tuner.Autotuner` with queued/running/done/
+    failed job states, deduplication of identical in-flight requests,
+    and instant champion returns on store hits.
+:mod:`repro.serve.client`
+    The **one-call client API** — ``tune_contraction(...)`` in the
+    spirit of Kernel Tuner's ``tune_kernel()``.
+"""
+
+from repro.serve.store import ResultStore, StoreKey, pack_tune_record
+from repro.serve.service import Job, JobState, TuneRequest, TuningService
+from repro.serve.client import tune_contraction
+
+__all__ = [
+    "ResultStore",
+    "StoreKey",
+    "pack_tune_record",
+    "Job",
+    "JobState",
+    "TuneRequest",
+    "TuningService",
+    "tune_contraction",
+]

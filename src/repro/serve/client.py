@@ -1,0 +1,81 @@
+"""The one-call client API, in the spirit of Kernel Tuner's ``tune_kernel``.
+
+``tune_contraction(source, arch=..., store=...)`` is the whole client
+surface: name a workload (or hand in DSL text, a parsed
+:class:`~repro.core.contraction.Contraction`, or a fixed
+:class:`~repro.tcr.program.TCRProgram`), name a GPU, point at a result
+store, and get the tuned champion back — served in O(1) from the store
+when anyone has tuned this (workload, arch, calibration, settings)
+before, computed (and stored for the next caller) otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.core.contraction import Contraction
+from repro.dsl.parser import parse_contraction
+from repro.errors import ServiceError
+from repro.gpusim.arch import GPUArch, gpu_by_name
+from repro.tcr.program import TCRProgram
+from repro.workloads import get_workload, workload_names
+
+__all__ = ["resolve_source", "tune_contraction"]
+
+
+def resolve_source(source) -> tuple[str, object]:
+    """Normalize a tuning request source to ``(kind, object)``.
+
+    ``kind`` is ``"contraction"`` or ``"program"``.  Accepts a
+    :class:`Contraction`, a :class:`TCRProgram`, a registered workload
+    name, or inline OCTOPI DSL text (recognized by its ``=``).
+    """
+    if isinstance(source, Contraction):
+        return "contraction", source
+    if isinstance(source, TCRProgram):
+        return "program", source
+    if isinstance(source, str):
+        if source in workload_names():
+            workload = get_workload(source)
+            if workload.contraction is not None:
+                return "contraction", workload.contraction
+            return "program", workload.program
+        if "=" in source:
+            return "contraction", parse_contraction(source, name="user")
+        raise ServiceError(
+            f"{source!r} is neither a known workload "
+            f"({', '.join(workload_names())}) nor inline DSL text"
+        )
+    raise ServiceError(
+        f"cannot tune a {type(source).__name__}; expected a Contraction, "
+        "a TCRProgram, a workload name, or DSL text"
+    )
+
+
+def tune_contraction(source, arch="gtx980", store=None, **settings):
+    """Tune ``source`` for ``arch`` in one call, store-accelerated.
+
+    Parameters
+    ----------
+    source:
+        A workload name, inline DSL text, a parsed ``Contraction``, or a
+        fixed ``TCRProgram``.
+    arch:
+        GPU name (``gtx980`` | ``k20`` | ``c2050``) or a
+        :class:`~repro.gpusim.arch.GPUArch`.
+    store:
+        A :class:`~repro.serve.store.ResultStore`, a store directory
+        path, or ``None`` to consult ``REPRO_RESULT_STORE``.
+    settings:
+        Forwarded to :class:`~repro.autotune.tuner.Autotuner` (seed,
+        max_evaluations, batch_size, pool_size, searcher, ...).
+
+    Returns the :class:`~repro.autotune.tuner.TuneResult`; check its
+    ``store_hit`` flag to see whether the store answered.
+    """
+    from repro.autotune.tuner import Autotuner
+
+    device = arch if isinstance(arch, GPUArch) else gpu_by_name(arch)
+    tuner = Autotuner(device, result_store=store, **settings)
+    kind, obj = resolve_source(source)
+    if kind == "contraction":
+        return tuner.tune_contraction(obj)
+    return tuner.tune_program(obj)

@@ -1,0 +1,260 @@
+"""The tuning service: a multi-tenant job queue around the Autotuner.
+
+One long-running :class:`TuningService` owns a shared
+:class:`~repro.serve.store.ResultStore` and a pool of worker threads.
+Clients :meth:`~TuningService.submit` :class:`TuneRequest`\\ s and get
+job ids back immediately; each job moves through
+``queued -> running -> done|failed`` and carries the
+:class:`~repro.autotune.tuner.TuneResult` (or the error) when finished.
+
+Two platform behaviors make this serve heavy traffic cheaply:
+
+* **Store hits are instant.**  Every worker's Autotuner is wired to the
+  service's store, so a request whose content address is already present
+  costs one compile + one O(1) lookup — zero model evaluations — and the
+  job reports ``store_hit=True`` with ``evaluation_count == 0``.
+* **Identical in-flight requests deduplicate.**  A request whose
+  fingerprint matches a queued/running job returns *that* job's id
+  instead of queuing duplicate work; once the first finishes, later
+  identical submissions become store hits anyway.
+
+Everything is observable: each job runs under a ``serve.job`` span and
+the store wiring emits ``store.hit`` / ``store.miss`` events, so a traced
+service run shows exactly which traffic was served from memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+from repro.gpusim.arch import gpu_by_name
+from repro.obs.tracer import get_tracer
+from repro.serve.client import resolve_source
+from repro.serve.store import ResultStore
+from repro.util.rng import stable_hash
+
+__all__ = ["JobState", "TuneRequest", "Job", "TuningService"]
+
+
+class JobState:
+    """Job lifecycle states (plain strings, JSON-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class TuneRequest:
+    """One tuning request: what to tune, where, and with which settings."""
+
+    source: str
+    arch: str = "gtx980"
+    #: Autotuner keyword settings (seed, max_evaluations, pool_size, ...)
+    settings: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Stable identity for in-flight deduplication.
+
+        Two requests with the same source text, arch, and settings would
+        produce the same store key, so running both would be pure waste.
+        """
+        return format(
+            stable_hash(
+                "tune-request",
+                self.source,
+                self.arch,
+                sorted(self.settings.items()),
+            ),
+            "016x",
+        )
+
+
+@dataclass
+class Job:
+    """One submitted request's lifecycle record."""
+
+    id: str
+    request: TuneRequest
+    state: str = JobState.QUEUED
+    result: object | None = None
+    error: str | None = None
+    #: served from the result store (set when done)
+    store_hit: bool = False
+    #: model evaluations this request actually cost (0 on a store hit)
+    evaluation_count: int | None = None
+    done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+    def describe(self) -> str:
+        tail = ""
+        if self.state == JobState.DONE:
+            hit = "hit" if self.store_hit else "miss"
+            tail = (
+                f" store={hit} evals={self.evaluation_count} "
+                f"{self.result.gflops:.2f} GFlops"
+            )
+        elif self.state == JobState.FAILED:
+            tail = f" error: {self.error}"
+        return (
+            f"{self.id} {self.request.source}@{self.request.arch}: "
+            f"{self.state}{tail}"
+        )
+
+
+class TuningService:
+    """Threaded job queue serving tuning requests from a shared store.
+
+    Parameters
+    ----------
+    store:
+        The service's :class:`ResultStore` (or a directory path for one).
+    workers:
+        Concurrent tuning jobs.  Store appends are atomic and the
+        in-memory store is lock-protected, so any count is safe.
+    tuner_factory:
+        Optional ``factory(request) -> Autotuner`` override (tests,
+        custom calibrations).  The default builds
+        ``Autotuner(gpu_by_name(request.arch), result_store=store,
+        **request.settings)``.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | str,
+        workers: int = 2,
+        tuner_factory=None,
+    ) -> None:
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        self._tuner_factory = tuner_factory or self._default_tuner
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="tune-worker"
+        )
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, str] = {}  # request fingerprint -> job id
+        self._next_id = 1
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "TuningService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting submissions; optionally drain running jobs."""
+        with self._lock:
+            self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    # -- submission -----------------------------------------------------
+    def _default_tuner(self, request: TuneRequest):
+        from repro.autotune.tuner import Autotuner
+
+        return Autotuner(
+            gpu_by_name(request.arch),
+            result_store=self.store,
+            **request.settings,
+        )
+
+    def submit(self, request: TuneRequest) -> str:
+        """Queue a request; returns its job id immediately.
+
+        An identical request already queued or running returns the
+        existing job's id (deduplication) rather than doubling the work.
+        """
+        fingerprint = request.fingerprint()
+        with self._lock:
+            if self._closed:
+                raise ServiceError("tuning service is shut down")
+            existing = self._inflight.get(fingerprint)
+            if existing is not None:
+                get_tracer().event(
+                    "serve.dedup", category="serve",
+                    job=existing, fingerprint=fingerprint,
+                )
+                return existing
+            job = Job(id=f"job-{self._next_id}", request=request)
+            self._next_id += 1
+            self._jobs[job.id] = job
+            self._inflight[fingerprint] = job.id
+        self._executor.submit(self._run, job, fingerprint)
+        return job.id
+
+    # -- execution ------------------------------------------------------
+    def _run(self, job: Job, fingerprint: str) -> None:
+        tracer = get_tracer()
+        with self._lock:
+            job.state = JobState.RUNNING
+        try:
+            with tracer.span(
+                "serve.job", category="serve",
+                job=job.id, source=job.request.source, arch=job.request.arch,
+            ):
+                tuner = self._tuner_factory(job.request)
+                kind, obj = resolve_source(job.request.source)
+                result = (
+                    tuner.tune_contraction(obj)
+                    if kind == "contraction"
+                    else tuner.tune_program(obj)
+                )
+            job.result = result
+            job.store_hit = result.store_hit
+            if result.store_hit:
+                job.evaluation_count = 0
+            elif result.search.telemetry is not None:
+                job.evaluation_count = int(
+                    result.search.telemetry.totals()["evaluations"]
+                )
+            else:
+                job.evaluation_count = result.search.evaluations
+            job.state = JobState.DONE
+        except Exception as exc:  # jobs must never take the service down
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = JobState.FAILED
+        finally:
+            with self._lock:
+                if self._inflight.get(fingerprint) == job.id:
+                    del self._inflight[fingerprint]
+            job.done_event.set()
+
+    # -- queries --------------------------------------------------------
+    def job(self, job_id: str) -> Job:
+        """The job record (live object; check ``state``/``finished``)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        return job
+
+    def jobs(self) -> list[Job]:
+        """All jobs in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until a job finishes; returns its record.
+
+        Raises :class:`ServiceError` if the timeout expires first.
+        """
+        job = self.job(job_id)
+        if not job.done_event.wait(timeout):
+            raise ServiceError(
+                f"timed out after {timeout}s waiting for {job_id} "
+                f"(state: {job.state})"
+            )
+        return job
+
+    def wait_all(self, timeout: float | None = None) -> list[Job]:
+        """Wait for every submitted job; returns them in order."""
+        return [self.wait(job.id, timeout) for job in self.jobs()]

@@ -15,19 +15,27 @@ calibration or noise seed can never serve stale values.  The program
 fingerprint hashes the variant's TCR text, so structurally identical
 programs share entries regardless of which run produced them.
 
-The on-disk format is JSON lines (one entry per line, append-only), which
-survives concurrent appends from independent runs and — because loading
-skips lines that fail to parse — a crash mid-append truncating the last
-line.
+The on-disk format is JSON lines (one entry per line, append-only),
+written through :func:`repro.util.jsonl.atomic_append_jsonl` — a single
+``O_APPEND`` write per entry, so concurrent appends from independent
+runs/processes can never interleave within a line — and loaded
+corruption-tolerantly (a crash mid-append truncating the last line costs
+that line, counted and warned about, never the store).
+
+Merge semantics are **first-wins** everywhere: ``put`` keeps the first
+in-memory entry for a key, and ``_load`` keeps the first on-disk line —
+so a reloaded store always agrees with the process that wrote it, no
+matter how many concurrent writers appended duplicate keys behind each
+other's backs.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 from repro.surf.evaluator import BatchEvaluator, ConfigurationEvaluator, EvalOutcome
 from repro.tcr.space import ProgramConfig
+from repro.util.jsonl import atomic_append_jsonl, load_jsonl, report_corrupt_lines
 from repro.util.rng import stable_hash
 
 __all__ = ["EvaluationCache", "CachedEvaluator", "QuarantineStore"]
@@ -62,22 +70,24 @@ class EvaluationCache:
 
     def _load(self) -> None:
         assert self.path is not None
-        with self.path.open("r", encoding="utf-8", errors="replace") as handle:
-            for line in handle:
-                if not line.strip():
-                    continue
-                try:
-                    entry = json.loads(line)
-                    key = tuple(entry["key"])
-                    value = float(entry["value"])
-                    wall = float(entry["wall"])
-                    status = str(entry.get("status", "ok"))
-                    if len(key) != 4 or not all(isinstance(p, str) for p in key):
-                        raise ValueError("malformed key")
-                except (ValueError, KeyError, TypeError):
-                    self.corrupt_lines += 1
-                    continue
-                self._memory[key] = (value, wall, status)
+        entries, self.corrupt_lines = load_jsonl(self.path)
+        for entry in entries:
+            try:
+                key = tuple(entry["key"])
+                value = float(entry["value"])
+                wall = float(entry["wall"])
+                status = str(entry.get("status", "ok"))
+                if len(key) != 4 or not all(isinstance(p, str) for p in key):
+                    raise ValueError("malformed key")
+            except (ValueError, KeyError, TypeError):
+                self.corrupt_lines += 1
+                continue
+            # First-wins, matching ``put``: duplicate on-disk lines (two
+            # processes racing the same key) must resolve the same way a
+            # live writer resolved them, or a reload would silently swap
+            # the served value.
+            self._memory.setdefault(key, (value, wall, status))
+        report_corrupt_lines(self.path, self.corrupt_lines, "evaluation-cache")
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -96,9 +106,7 @@ class EvaluationCache:
         self._memory[key] = (value, wall, status)
         if self.path is not None:
             entry = {"key": list(key), "value": value, "wall": wall, "status": status}
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(json.dumps(entry) + "\n")
+            atomic_append_jsonl(self.path, entry)
 
 
 class QuarantineStore:
@@ -122,20 +130,18 @@ class QuarantineStore:
 
     def _load(self) -> None:
         assert self.path is not None
-        with self.path.open("r", encoding="utf-8", errors="replace") as handle:
-            for line in handle:
-                if not line.strip():
-                    continue
-                try:
-                    entry = json.loads(line)
-                    fingerprint = entry["fingerprint"]
-                    reason = str(entry.get("reason", ""))
-                    if not isinstance(fingerprint, str):
-                        raise ValueError("malformed fingerprint")
-                except (ValueError, KeyError, TypeError):
-                    self.corrupt_lines += 1
-                    continue
-                self._reasons.setdefault(fingerprint, reason)
+        entries, self.corrupt_lines = load_jsonl(self.path)
+        for entry in entries:
+            try:
+                fingerprint = entry["fingerprint"]
+                reason = str(entry.get("reason", ""))
+                if not isinstance(fingerprint, str):
+                    raise ValueError("malformed fingerprint")
+            except (ValueError, KeyError, TypeError):
+                self.corrupt_lines += 1
+                continue
+            self._reasons.setdefault(fingerprint, reason)
+        report_corrupt_lines(self.path, self.corrupt_lines, "quarantine")
 
     def __len__(self) -> int:
         return len(self._reasons)
@@ -156,10 +162,9 @@ class QuarantineStore:
             return
         self._reasons[fingerprint] = reason
         if self.path is not None:
-            entry = {"fingerprint": fingerprint, "reason": reason}
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(json.dumps(entry) + "\n")
+            atomic_append_jsonl(
+                self.path, {"fingerprint": fingerprint, "reason": reason}
+            )
 
 
 def _base_evaluator(evaluator: BatchEvaluator) -> ConfigurationEvaluator:

@@ -1,0 +1,113 @@
+"""Append-only JSON-lines stores: one shared atomic-append primitive.
+
+Every persistent store in this package — the evaluation cache, the
+quarantine set, and the content-addressed result store — is an
+append-only JSONL file that many independent processes may write at
+once.  They all route their appends through :func:`atomic_append_jsonl`:
+the serialized line is flushed in a **single** ``os.write`` on an
+``O_APPEND`` file descriptor, so concurrent writers can never interleave
+*within* a line — the kernel serializes the offset update with the data.
+(A buffered ``file.write`` gives no such guarantee: lines longer than
+the stream's buffer are split across multiple syscalls and two processes
+can shear each other's records.)
+
+Loading is corruption-tolerant in the same shared way: undecodable lines
+(including the truncated final line a crash mid-append can leave) are
+counted, never fatal, and :func:`report_corrupt_lines` makes a nonzero
+count *visible* — a ``CorruptLinesWarning`` plus, when a tracer is
+active, a ``store.corrupt_lines`` event — instead of silently shrinking
+the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Any
+
+from repro.obs.tracer import get_tracer
+
+__all__ = [
+    "CorruptLinesWarning",
+    "atomic_append_jsonl",
+    "load_jsonl",
+    "report_corrupt_lines",
+]
+
+
+class CorruptLinesWarning(UserWarning):
+    """A JSONL store was loaded with undecodable lines skipped."""
+
+
+def atomic_append_jsonl(path: str | Path, obj: Any) -> int:
+    """Append ``obj`` as one JSON line via a single ``O_APPEND`` write.
+
+    Creates the file (and parent directory) if needed.  Returns the
+    number of bytes written.  With ``O_APPEND``, each ``os.write`` is
+    atomic with respect to the file offset, so concurrent appenders in
+    other threads or processes cannot interleave inside the line.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = (json.dumps(obj) + "\n").encode("utf-8")
+    fd = os.open(str(path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        written = os.write(fd, data)
+        # A short write on a regular file is essentially impossible (disk
+        # full aside); finish the line rather than drop bytes on the rare
+        # platforms/filesystems where it can happen.
+        while written < len(data):
+            written += os.write(fd, data[written:])
+    finally:
+        os.close(fd)
+    return written
+
+
+def load_jsonl(path: str | Path) -> tuple[list[Any], int]:
+    """Parse a JSONL file into ``(entries, corrupt_line_count)``.
+
+    Blank lines are ignored; lines that fail to decode (torn, truncated,
+    or garbage) are counted and skipped — schema validation of decoded
+    entries is the caller's job (callers add their own rejects to the
+    corrupt count before calling :func:`report_corrupt_lines`).
+    """
+    entries: list[Any] = []
+    corrupt = 0
+    with Path(path).open("r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except ValueError:
+                corrupt += 1
+    return entries, corrupt
+
+
+def report_corrupt_lines(path: str | Path, count: int, kind: str) -> None:
+    """Surface a nonzero corrupt-line count: warn + tracer event.
+
+    Silent corruption is the failure mode this guards against — a store
+    that quietly loads smaller than it was written serves misses (or
+    re-runs quarantined points) with no signal anything is wrong.
+    """
+    if count <= 0:
+        return
+    warnings.warn(
+        f"{kind} store {path}: skipped {count} corrupt line(s) on load "
+        "(torn/truncated appends or on-disk damage); entries on those "
+        "lines are lost",
+        CorruptLinesWarning,
+        stacklevel=3,
+    )
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "store.corrupt_lines",
+            category="store",
+            path=str(path),
+            kind=kind,
+            count=count,
+        )

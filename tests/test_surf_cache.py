@@ -7,10 +7,11 @@ import pytest
 from repro.autotune import Autotuner
 from repro.gpusim.arch import GTX980
 from repro.gpusim.perfmodel import GPUPerformanceModel
-from repro.surf.cache import CachedEvaluator, EvaluationCache
+from repro.surf.cache import CachedEvaluator, EvaluationCache, QuarantineStore
 from repro.surf.evaluator import ConfigurationEvaluator
 from repro.tcr.decision import decide_search_space
 from repro.tcr.space import TuningSpace
+from repro.util.jsonl import CorruptLinesWarning, atomic_append_jsonl
 
 
 @pytest.fixture
@@ -94,7 +95,8 @@ class TestOnDiskStore:
         raw = path.read_text(encoding="utf-8")
         path.write_text(raw[: len(raw) - len(raw.splitlines()[-1]) // 2 - 1])
 
-        reloaded = EvaluationCache(path)
+        with pytest.warns(CorruptLinesWarning):
+            reloaded = EvaluationCache(path)
         assert reloaded.corrupt_lines == 1
         assert len(reloaded) == 5
         ev = _cached(program, model, reloaded)
@@ -109,7 +111,8 @@ class TestOnDiskStore:
         with path.open("a", encoding="utf-8") as handle:
             handle.write("not json at all\n")
             handle.write(json.dumps({"key": ["short"], "value": 1.0}) + "\n")
-        reloaded = EvaluationCache(path)
+        with pytest.warns(CorruptLinesWarning, match="2 corrupt line"):
+            reloaded = EvaluationCache(path)
         assert len(reloaded) == 1
         assert reloaded.corrupt_lines == 2
 
@@ -121,6 +124,51 @@ class TestOnDiskStore:
         ev.evaluate(pool[0])
         ev.evaluate(pool[0])
         assert len(path.read_text().splitlines()) == 1
+
+
+class TestMergeSemantics:
+    KEY = ("GTX980", "ctx-fp", "prog-fp", "cfg")
+
+    def _line(self, value: float, wall: float) -> dict:
+        return {"key": list(self.KEY), "value": value, "wall": wall, "status": "ok"}
+
+    def test_load_serves_first_of_conflicting_lines(self, tmp_path):
+        # Regression: _load used plain assignment (last-wins) while put
+        # used first-wins, so reloading a file with duplicate keys silently
+        # swapped the value a live writer had been serving.
+        path = tmp_path / "cache.jsonl"
+        atomic_append_jsonl(path, self._line(1.0, 0.5))
+        atomic_append_jsonl(path, self._line(2.0, 0.7))
+        cache = EvaluationCache(path)
+        assert len(cache) == 1
+        assert cache.get(self.KEY) == (1.0, 0.5, "ok")
+
+    def test_reload_agrees_with_live_writer(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        live = EvaluationCache(path)
+        live.put(self.KEY, 1.0, 0.5)
+        # A concurrent process appends the same key behind our back...
+        atomic_append_jsonl(path, self._line(9.0, 9.0))
+        # ...and our own duplicate put is a no-op (first write wins).
+        live.put(self.KEY, 3.0, 0.3)
+        assert live.get(self.KEY) == (1.0, 0.5, "ok")
+        assert EvaluationCache(path).get(self.KEY) == (1.0, 0.5, "ok")
+
+    def test_quarantine_first_reason_wins(self, tmp_path):
+        path = tmp_path / "quarantine.jsonl"
+        atomic_append_jsonl(path, {"fingerprint": "cfg-a", "reason": "first"})
+        atomic_append_jsonl(path, {"fingerprint": "cfg-a", "reason": "second"})
+        store = QuarantineStore(path)
+        assert len(store) == 1
+        assert store.reason("cfg-a") == "first"
+
+    def test_atomic_append_writes_single_line(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        payload = self._line(1.0, 0.5)
+        payload["padding"] = "x" * 10_000  # longer than any stdio buffer
+        written = atomic_append_jsonl(path, payload)
+        assert written == path.stat().st_size
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 1
 
 
 class TestAutotunerCache:

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Summarize (and maintain) a content-addressed result store directory.
+
+Usage::
+
+    python tools/store_inspect.py STORE_DIR [--top N] [--json] [--compact MAX]
+
+Prints per-shard occupancy, corrupt-line and duplicate-key counts, and
+the most-stored workloads.  ``--compact`` rewrites the shards dropping
+duplicate keys and evicting the oldest entries beyond ``MAX`` per shard
+(run only with writers quiesced).  Exits 1 when any shard is structurally
+invalid (bad or missing header) so CI can gate on store health.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import warnings
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import StoreError  # noqa: E402
+from repro.serve.store import ResultStore  # noqa: E402
+
+
+def summarize(store: ResultStore, top: int) -> dict:
+    stats = store.stats()
+    names = Counter()
+    archs = Counter()
+    evaluations = 0
+    for _key, record in store.entries():
+        names[record.get("name", "?")] += 1
+        archs[record.get("arch", "?")] += 1
+        search = record.get("search", {})
+        evaluations += int(search.get("evaluations", 0))
+    stats["top_workloads"] = names.most_common(top)
+    stats["architectures"] = archs.most_common()
+    stats["stored_evaluations"] = evaluations
+    return stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("store", help="result-store directory")
+    parser.add_argument("--top", type=int, default=10, help="top-N workloads to list")
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--compact", type=int, default=None, metavar="MAX",
+        help="rewrite shards: dedup + keep newest MAX entries per shard",
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.store)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 1
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store = ResultStore(root)
+    except StoreError as exc:
+        print(f"invalid store: {exc}", file=sys.stderr)
+        return 1
+
+    if args.compact is not None:
+        outcome = store.compact(max_entries_per_shard=args.compact)
+        print(
+            f"compacted: kept {outcome['kept']}, "
+            f"evicted {outcome['evicted']}, "
+            f"deduplicated {outcome['deduplicated']}"
+        )
+
+    stats = summarize(store, args.top)
+    if args.json:
+        print(json.dumps(stats, indent=1, sort_keys=True))
+        return 0
+
+    print(f"result store {root}")
+    print(
+        f"  entries: {stats['entries']} across {stats['shard_files']} shard "
+        f"file(s); stored model evaluations: {stats['stored_evaluations']}"
+    )
+    print(
+        f"  corrupt lines: {stats['corrupt_lines']}  "
+        f"duplicate keys (first-wins shadowed): {stats['duplicate_keys']}"
+    )
+    for warning in caught:
+        print(f"  warning: {warning.message}")
+    if stats["per_shard"]:
+        print("  per shard:")
+        for shard, count in stats["per_shard"].items():
+            print(f"    {shard}: {count}")
+    if stats["top_workloads"]:
+        print("  top workloads:")
+        for name, count in stats["top_workloads"]:
+            print(f"    {name}: {count}")
+    if stats["architectures"]:
+        archs = ", ".join(f"{a} ({n})" for a, n in stats["architectures"])
+        print(f"  architectures: {archs}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
