@@ -13,6 +13,13 @@ Two suites, selected with ``--suite``:
     that dominates large-pool SURF runs) and compares the array-native/
     seed speedup ratio against the matching pool-size record in the
     committed ``BENCH_pr6.json`` baseline.
+``search_parallel``
+    Runs the full SURF end-to-end twice — serial and with
+    ``--search-workers`` worker processes — on the same pool.  The runs
+    must agree **bitwise** (champion + history digest; a divergence fails
+    regardless of speed), and the parallel/serial wall ratio is gated
+    against the matching record in the committed ``BENCH_pr8.json``
+    baseline.
 
 Comparing ratios — not raw seconds — makes the gate robust to CI
 machines of different speeds: both paths run on the same box, so a
@@ -69,6 +76,12 @@ SUITES = {
         "default_configs": 10000,
         "label": "search core (predict+select)",
     },
+    "search_parallel": {
+        "baseline": REPO_ROOT / "BENCH_pr8.json",
+        "output": OUTPUT_DIR / "BENCH_pr8.json",
+        "default_configs": 100000,
+        "label": "search core (multi-core end-to-end)",
+    },
 }
 
 
@@ -104,6 +117,23 @@ def _search_baseline_record(baseline: dict, configs: int) -> dict:
     )
 
 
+def _parallel_baseline_record(baseline: dict, configs: int) -> dict:
+    """The multi-worker sweep record gated against: same pool size, any
+    worker count > 1, with the serial-vs-parallel ratio recorded."""
+    for record in baseline.get("records", []):
+        if (
+            record.get("configs") == configs
+            and record.get("search_workers", 1) > 1
+            and "parallel_speedup" in record
+        ):
+            return record
+    raise SystemExit(
+        f"FAIL: baseline has no multi-worker record at pool {configs}; "
+        "regenerate with benchmarks/bench_search_throughput.py "
+        "--search-workers 1,2 --json"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite", choices=sorted(SUITES), default="timing_table",
@@ -112,6 +142,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="pool size scored on both paths "
                         "(default: 1000 timing_table, 10000 search)")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--search-workers", type=int, default=None,
+                        help="worker count for the search_parallel suite "
+                        "(default: the baseline record's count)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="bench repetitions; the best ratio is compared")
     parser.add_argument("--tolerance", type=float, default=TOLERANCE,
@@ -152,6 +185,49 @@ def main(argv: list[str] | None = None) -> int:
         result = _best_of(measure, args.repeats)
         result["exact_match"] = True  # in-run asserts would have raised
         baseline_speedup = float(baseline_rec["speedup"])
+    elif args.suite == "search_parallel":
+        baseline_all = _load_baseline(baseline_path)
+        baseline_rec = _parallel_baseline_record(baseline_all, configs)
+        nmax = int(baseline_rec.get("nmax", 200))
+        batch_size = int(baseline_rec.get("batch_size", 10))
+        workers = args.search_workers or int(
+            baseline_rec.get("search_workers", 2)
+        )
+
+        def measure() -> dict:
+            serial = run_search_bench(
+                configs, seed=args.seed, nmax=nmax, batch_size=batch_size,
+                include_legacy=False, end_to_end=True, search_workers=1,
+                stages=False,
+            )
+            parallel = run_search_bench(
+                configs, seed=args.seed, nmax=nmax, batch_size=batch_size,
+                include_legacy=False, end_to_end=True,
+                search_workers=workers, stages=False,
+            )
+            if (
+                parallel["history_digest"] != serial["history_digest"]
+                or parallel["end_best_objective"]
+                != serial["end_best_objective"]
+            ):
+                # Parity is non-negotiable: a bitwise divergence fails the
+                # gate immediately, whatever the speed looks like.
+                raise SystemExit(
+                    f"FAIL: search_workers={workers} run diverged bitwise "
+                    f"from serial at pool {configs}"
+                )
+            parallel["exact_match"] = True
+            parallel["serial_end_to_end_seconds"] = serial[
+                "end_to_end_seconds"
+            ]
+            parallel["parallel_speedup"] = (
+                serial["end_to_end_seconds"] / parallel["end_to_end_seconds"]
+            )
+            parallel["speedup"] = parallel["parallel_speedup"]
+            return parallel
+
+        result = _best_of(measure, args.repeats)
+        baseline_speedup = float(baseline_rec["parallel_speedup"])
     else:
         result = _best_of(
             lambda: run_table_bench(configs, seed=args.seed), args.repeats
@@ -170,7 +246,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     if args.update:
-        if args.suite == "search":
+        if args.suite in ("search", "search_parallel"):
             baseline_rec.update(
                 {k: v for k, v in result.items() if k != "suite"}
             )

@@ -31,6 +31,15 @@ Run as a script::
 
 At 10^6 configs the seed path is minutes-slow, so ``--no-legacy`` (or
 pool sizes above ``LEGACY_CEILING``) records new-path throughput only.
+
+The end-to-end run is traced, and the per-phase wall breakdown (encode,
+rank-coding, every refit, every full-pool predict pass, batch
+materialization, evaluation, selection, history bookkeeping) lands in the
+JSON record — so the gap between the sum of the stage microbenches and
+the end-to-end wall is attributed, not guessed at.  ``--search-workers``
+adds parallel-path records (one per worker count) whose champion/history
+digest is checked against the serial record: the multi-core search core
+must be bitwise-invisible in the results.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ import numpy as np
 
 from repro.core.pipeline import compile_contraction
 from repro.dsl.parser import parse_contraction
+from repro.obs.tracer import Tracer, use_tracer
 from repro.surf._legacy import LegacyExtraTreesRegressor, LegacySURFSearch
 from repro.surf.binarize import FeatureBinarizer
 from repro.surf.forest import ExtraTreesRegressor, pool_codes
@@ -88,6 +98,32 @@ def synthetic_evaluate(batch) -> list[float]:
     ]
 
 
+def _phase_breakdown(spans, wall_seconds: float) -> dict:
+    """Aggregate the driver's ``search.*`` spans into per-phase totals.
+
+    Top-level phases and per-worker ``*.chunk`` spans are kept apart (the
+    chunk seconds overlap their parent phase, so they never enter the
+    attribution sum); ``unattributed_seconds`` is what the spans do not
+    explain — the honest remainder, recorded instead of hidden.
+    """
+    phases: dict[str, dict] = {}
+    chunks: dict[str, dict] = {}
+    for span in spans:
+        if span.duration_s is None or not span.name.startswith("search."):
+            continue
+        bucket = chunks if span.name.endswith(".chunk") else phases
+        rec = bucket.setdefault(span.name, {"seconds": 0.0, "count": 0})
+        rec["seconds"] += span.duration_s
+        rec["count"] += 1
+    attributed = sum(rec["seconds"] for rec in phases.values())
+    return {
+        "phases": phases,
+        "chunk_spans": chunks,
+        "attributed_seconds": attributed,
+        "unattributed_seconds": max(0.0, wall_seconds - attributed),
+    }
+
+
 def run_bench(
     pool_size: int,
     seed: int = 1,
@@ -95,6 +131,8 @@ def run_bench(
     batch_size: int = 10,
     include_legacy: bool = True,
     end_to_end: bool = True,
+    search_workers: int = 1,
+    stages: bool = True,
 ) -> dict:
     """Time every search-core stage at one pool size, both paths."""
     space = bench_space()
@@ -104,7 +142,11 @@ def run_bench(
     pool = SpacePool(space, ids)
     n = len(pool)
     result: dict = {"configs": n, "space": space.size(), "nmax": nmax,
-                    "batch_size": batch_size, "legacy_measured": include_legacy}
+                    "batch_size": batch_size, "search_workers": search_workers,
+                    "legacy_measured": include_legacy}
+    if not stages:
+        return _bench_end_to_end(result, pool, nmax, batch_size, seed,
+                                 search_workers)[0]
 
     # --- encode ------------------------------------------------------
     t0 = time.perf_counter()
@@ -184,15 +226,13 @@ def run_bench(
 
     # --- end-to-end run ----------------------------------------------
     if end_to_end:
-        surf_kwargs = dict(batch_size=batch_size, max_evaluations=min(nmax, n),
-                           seed=seed)
-        t0 = time.perf_counter()
-        new_result = SURFSearch(tie_break="jitter", **surf_kwargs).search(
-            pool, synthetic_evaluate
+        result, new_result = _bench_end_to_end(
+            result, pool, nmax, batch_size, seed, search_workers
         )
-        result["end_to_end_seconds"] = time.perf_counter() - t0
-
         if include_legacy:
+            surf_kwargs = dict(
+                batch_size=batch_size, max_evaluations=min(nmax, n), seed=seed
+            )
             t0 = time.perf_counter()
             legacy_result = LegacySURFSearch(**surf_kwargs).search(
                 configs, synthetic_evaluate
@@ -209,6 +249,34 @@ def run_bench(
     return result
 
 
+def _bench_end_to_end(
+    result: dict, pool: SpacePool, nmax: int, batch_size: int, seed: int,
+    search_workers: int,
+) -> tuple[dict, object]:
+    """One traced full SURF run; phase breakdown + history digest into
+    ``result``.  Returns the (mutated) record and the SearchResult."""
+    surf_kwargs = dict(
+        batch_size=batch_size, max_evaluations=min(nmax, len(pool)), seed=seed
+    )
+    tracer = Tracer()
+    t0 = time.perf_counter()
+    with use_tracer(tracer):
+        run = SURFSearch(
+            tie_break="jitter", search_workers=search_workers, **surf_kwargs
+        ).search(pool, synthetic_evaluate)
+    wall = time.perf_counter() - t0
+    result["end_to_end_seconds"] = wall
+    result["end_to_end_breakdown"] = _phase_breakdown(tracer.finished(), wall)
+    ys = [y for _c, y in run.history]
+    result["end_best_objective"] = run.best_objective
+    # Champion + full history in one digest: two runs with equal digests
+    # walked the identical course (the parallel-parity check in main()).
+    result["history_digest"] = format(
+        stable_hash("bench-run", run.best_objective, ys), "016x"
+    )
+    return result, run
+
+
 def test_search_core_faster_than_legacy():
     """Suite-run guard: bitwise-equal run, and the loop body is faster."""
     result = run_bench(4000, nmax=60, include_legacy=True)
@@ -219,8 +287,13 @@ def test_search_core_faster_than_legacy():
 
 
 def _fmt(result: dict) -> str:
-    lines = [f"pool {result['configs']} (space {result['space']}):"]
+    lines = [
+        f"pool {result['configs']} (space {result['space']}, "
+        f"search_workers {result['search_workers']}):"
+    ]
     for stage in ("encode", "fit", "predict", "select"):
+        if f"{stage}_seconds" not in result:
+            continue
         line = f"  {stage:8s} {result[f'{stage}_seconds'] * 1e3:9.1f} ms"
         if f"legacy_{stage}_seconds" in result:
             line += (f"  (seed {result[f'legacy_{stage}_seconds'] * 1e3:9.1f} ms"
@@ -232,12 +305,32 @@ def _fmt(result: dict) -> str:
             line += (f"  (seed {result['legacy_end_to_end_seconds'] * 1e3:9.1f} ms"
                      f" -> {result['speedup_end_to_end']:6.1f}x, "
                      f"bitwise={'yes' if result['exact_match'] else 'NO'})")
+        if "matches_serial" in result:
+            line += (
+                f"  [vs serial: "
+                f"{'bitwise' if result['matches_serial'] else 'DIVERGED'}]"
+            )
         lines.append(line)
-    tput = result["predict_select_configs_per_sec"]
-    line = f"  predict+select throughput {tput:,.0f} configs/s"
-    if "speedup" in result:
-        line += f" ({result['speedup']:.1f}x the seed path)"
-    lines.append(line)
+        breakdown = result.get("end_to_end_breakdown")
+        if breakdown:
+            for name, rec in sorted(
+                breakdown["phases"].items(),
+                key=lambda kv: -kv[1]["seconds"],
+            ):
+                lines.append(
+                    f"    {name:20s} {rec['seconds'] * 1e3:9.1f} ms"
+                    f"  x{rec['count']}"
+                )
+            lines.append(
+                f"    {'(unattributed)':20s} "
+                f"{breakdown['unattributed_seconds'] * 1e3:9.1f} ms"
+            )
+    if "predict_select_configs_per_sec" in result:
+        tput = result["predict_select_configs_per_sec"]
+        line = f"  predict+select throughput {tput:,.0f} configs/s"
+        if "speedup" in result:
+            line += f" ({result['speedup']:.1f}x the seed path)"
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -250,25 +343,62 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--no-legacy", action="store_true",
                         help="skip the seed-path measurements")
+    parser.add_argument("--search-workers", default="1",
+                        help="comma-separated search-core worker counts; "
+                        "counts > 1 add parallel end-to-end records whose "
+                        "champion/history must match the serial record "
+                        "bitwise")
     parser.add_argument("--no-end-to-end", action="store_true",
                         help="stage timings only (skip the full SURF runs)")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail (exit 1) if any measured predict+select "
                         "speedup falls below this ratio")
+    parser.add_argument("--max-end-to-end-seconds", type=float, default=None,
+                        help="fail (exit 1) if a multi-worker end-to-end "
+                        "run exceeds this wall time")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the result records as JSON to PATH")
     args = parser.parse_args(argv)
 
+    worker_counts = sorted({int(s) for s in args.search_workers.split(",")})
     records = []
+    diverged = []
     for size in (int(s) for s in args.pool_sizes.split(",")):
         include_legacy = not args.no_legacy and size <= LEGACY_CEILING
-        result = run_bench(
+        # The serial record doubles as the stage microbench and the
+        # parallel-parity reference, so it always runs.
+        serial = run_bench(
             size, seed=args.seed, nmax=args.nmax, batch_size=args.batch_size,
             include_legacy=include_legacy,
             end_to_end=not args.no_end_to_end,
         )
-        records.append(result)
-        print(_fmt(result))
+        records.append(serial)
+        print(_fmt(serial))
+        for workers in worker_counts:
+            if workers <= 1 or args.no_end_to_end:
+                continue
+            record = run_bench(
+                size, seed=args.seed, nmax=args.nmax,
+                batch_size=args.batch_size, include_legacy=False,
+                end_to_end=True, search_workers=workers, stages=False,
+            )
+            record["matches_serial"] = (
+                record["history_digest"] == serial.get("history_digest")
+                and record["end_best_objective"]
+                == serial.get("end_best_objective")
+            )
+            if "end_to_end_seconds" in serial:
+                record["serial_end_to_end_seconds"] = serial[
+                    "end_to_end_seconds"
+                ]
+                record["parallel_speedup"] = (
+                    serial["end_to_end_seconds"]
+                    / record["end_to_end_seconds"]
+                )
+            if not record["matches_serial"]:
+                diverged.append(record)
+            records.append(record)
+            print(_fmt(record))
 
     payload = {"suite": "search_throughput", "records": records}
     if args.json:
@@ -280,6 +410,27 @@ def main(argv: list[str] | None = None) -> int:
     if failed:
         print("FAIL: array-native run diverged from the seed run", file=sys.stderr)
         return 1
+    if diverged:
+        print(
+            f"FAIL: search_workers={diverged[0]['search_workers']} run "
+            f"diverged from serial at pool {diverged[0]['configs']}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.max_end_to_end_seconds is not None:
+        over = [r for r in records
+                if r.get("search_workers", 1) > 1
+                and r.get("end_to_end_seconds", 0.0)
+                > args.max_end_to_end_seconds]
+        if over:
+            print(
+                f"FAIL: {over[0]['search_workers']}-worker end-to-end at "
+                f"pool {over[0]['configs']} took "
+                f"{over[0]['end_to_end_seconds']:.1f}s "
+                f"(target {args.max_end_to_end_seconds:.1f}s)",
+                file=sys.stderr,
+            )
+            return 1
     if args.min_speedup is not None:
         slow = [r for r in records
                 if "speedup" in r and r["speedup"] < args.min_speedup]

@@ -42,6 +42,7 @@ from repro.surf.random_search import RandomSearch
 from repro.surf.resilience import ResilientEvaluator
 from repro.surf.search import SearchResult, SURFSearch
 from repro.surf.separable import SeparableExhaustiveSearch
+from repro.surf.shared import resolve_search_workers
 from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.decision import decide_search_space
 from repro.tcr.program import TCRProgram
@@ -104,6 +105,8 @@ def _make_searcher(
     max_evaluations: int,
     seed: int,
     tie_break: str = "lexsort",
+    search_workers: int = 1,
+    acquisition: str = "mean",
 ):
     if kind == "surf":
         return SURFSearch(
@@ -111,6 +114,8 @@ def _make_searcher(
             max_evaluations=max_evaluations,
             seed=seed,
             tie_break=tie_break,
+            search_workers=search_workers,
+            acquisition=acquisition,
         )
     if kind == "random":
         return RandomSearch(
@@ -159,6 +164,22 @@ class Autotuner:
         (``parallel_executor="process"`` for processes).  Results are
         bitwise-identical to serial runs; ``None`` consults
         ``REPRO_EVAL_WORKERS``.
+    search_workers:
+        Fan the *search core's* hot loops — per-refit forest fits, the
+        full-pool predict pass, the odometer encode — out over this many
+        worker processes sharing the pool through shared memory (see
+        :mod:`repro.surf.shared`).  Orthogonal to ``workers`` (which
+        parallelizes evaluation): results are bitwise-identical for every
+        worker count, so the knob is result-store-neutral and absent from
+        run fingerprints (a checkpoint may resume under a different
+        count).  ``None`` consults ``REPRO_SEARCH_WORKERS`` (unset = 1,
+        today's serial path byte for byte).
+    acquisition:
+        SURF's per-iteration ranking rule: ``"mean"`` (default, the
+        paper's predicted-best rule) or ``"lcb"`` (lower confidence
+        bound ``mean - kappa*std`` from one combined tree descent).
+        Non-default values change the search course and are therefore
+        fingerprinted and store-keyed.
     telemetry:
         Emit per-batch :class:`~repro.surf.telemetry.SearchTelemetry`
         records on every ``SearchResult`` (on by default; costs nothing
@@ -241,6 +262,8 @@ class Autotuner:
         batch_parallelism: int = 1,
         cache: bool | str | Path | None = None,
         workers: int | None = None,
+        search_workers: int | None = None,
+        acquisition: str = "mean",
         telemetry: bool = True,
         parallel_executor: str = "thread",
         fast_model: bool | None = None,
@@ -279,6 +302,8 @@ class Autotuner:
         if workers is None:
             workers = int(os.environ.get("REPRO_EVAL_WORKERS", "1") or 1)
         self.workers = max(1, workers)
+        self.search_workers = resolve_search_workers(search_workers)
+        self.acquisition = acquisition
         self.telemetry = telemetry
         self.parallel_executor = parallel_executor
         if fast_model is None:
@@ -421,6 +446,28 @@ class Autotuner:
         """The provenance manifest of a run over ``programs``."""
         from repro import __version__
 
+        settings = {
+            "max_evaluations": self.max_evaluations,
+            "batch_size": self.batch_size,
+            "pool_size": self.pool_size,
+            "max_variants": self.max_variants,
+            "noisy": self.noisy,
+            "include_transfer": self.include_transfer,
+            "per_variant": self.per_variant,
+            "batch_parallelism": self.batch_parallelism,
+            "workers": self.workers,
+            "search_workers": self.search_workers,
+            "fast_model": self.fast_model,
+            "sweep_full": self.sweep_full,
+            "faults": self.faults.describe(),
+            "max_retries": self.max_retries,
+            "resilient": self.resilient,
+            "tie_break": self.tie_break,
+        }
+        # Only a non-default acquisition changes the search course; the
+        # conditional key keeps store digests of existing runs stable.
+        if self.acquisition != "mean":
+            settings["acquisition"] = self.acquisition
         return RunManifest(
             name=name,
             package_version=__version__,
@@ -432,23 +479,7 @@ class Autotuner:
             ),
             seed=self.seed,
             searcher=self.searcher_kind,
-            settings={
-                "max_evaluations": self.max_evaluations,
-                "batch_size": self.batch_size,
-                "pool_size": self.pool_size,
-                "max_variants": self.max_variants,
-                "noisy": self.noisy,
-                "include_transfer": self.include_transfer,
-                "per_variant": self.per_variant,
-                "batch_parallelism": self.batch_parallelism,
-                "workers": self.workers,
-                "fast_model": self.fast_model,
-                "sweep_full": self.sweep_full,
-                "faults": self.faults.describe(),
-                "max_retries": self.max_retries,
-                "resilient": self.resilient,
-                "tie_break": self.tie_break,
-            },
+            settings=settings,
         )
 
     def _write_manifests(self, name: str, programs: list[TCRProgram]) -> None:
@@ -563,6 +594,12 @@ class Autotuner:
         # the mode existed; any other mode changes the course and is named.
         if self.tie_break != "jitter":
             fp["tie_break"] = self.tie_break
+        # Same conditional-key reasoning for the acquisition rule: "mean"
+        # is the historical course.  search_workers is deliberately absent:
+        # the parallel path is bitwise-identical to serial, so a run may be
+        # resumed under any worker count.
+        if self.acquisition != "mean":
+            fp["acquisition"] = self.acquisition
         return fp
 
     def _checkpointer(
@@ -661,6 +698,8 @@ class Autotuner:
             searcher = _make_searcher(
                 self.searcher_kind, self.batch_size, self.max_evaluations,
                 self.seed, tie_break=self.tie_break,
+                search_workers=self.search_workers,
+                acquisition=self.acquisition,
             )
             checkpointer = self._checkpointer(
                 checkpoint_dir, name, pool, tuning_space.size(), evaluator

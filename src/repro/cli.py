@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_EVAL_WORKERS); results are identical to serial",
     )
     tune.add_argument(
+        "--search-workers", type=int, default=None, metavar="N",
+        help="fan the SURF search core (forest fit, full-pool predict, "
+        "odometer encode) over N worker processes with shared-memory "
+        "pools (default: serial or $REPRO_SEARCH_WORKERS); champion, "
+        "history and checkpoints are bitwise-identical to serial",
+    )
+    tune.add_argument(
         "--cache", default=None, metavar="PATH",
         help="JSON-lines evaluation cache ('mem' for in-memory only; "
         "default: $REPRO_EVAL_CACHE or off)",
@@ -233,6 +240,7 @@ def _run_tune(args: argparse.Namespace) -> int:
         per_variant=args.per_variant,
         cache=cache,
         workers=args.workers,
+        search_workers=args.search_workers,
         fast_model=args.fast_model,
         faults=args.faults,
         max_retries=args.retries,

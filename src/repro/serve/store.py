@@ -75,7 +75,9 @@ STORE_KIND = "repro-result-store"
 #: Autotuner settings that cannot change the tuned result (each is
 #: documented bitwise-identical or same-answer) and therefore must not
 #: fragment the content address.
-RESULT_NEUTRAL_SETTINGS = frozenset({"workers", "fast_model", "sweep_full"})
+RESULT_NEUTRAL_SETTINGS = frozenset(
+    {"workers", "search_workers", "fast_model", "sweep_full"}
+)
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,11 @@ same substreams.  When the fingerprint does not match (changed seed,
 space, searcher, budget, …) resume is *not* bitwise-safe and
 :class:`~repro.errors.CheckpointError` is raised instead of silently
 diverging.
+
+``search_workers`` is deliberately **outside** the fingerprint: the
+parallel search core is bitwise-identical to serial for every worker
+count, so a run checkpointed under one count may be resumed under any
+other (including serial) and still finishes bitwise-identical.
 """
 
 from __future__ import annotations

@@ -30,13 +30,24 @@ no comparisons — and stays bitwise-identical to :meth:`predict` because
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import SearchError
-from repro.surf.tree import ExtraTreeRegressor
+from repro.surf.shared import attach_shared, chunk_ranges
+from repro.surf.tree import ExtraTreeRegressor, from_tree_state, tree_state
 from repro.util.rng import spawn_rng
 
-__all__ = ["ExtraTreesRegressor", "PoolCodes", "PoolRouter", "pool_codes"]
+__all__ = [
+    "ExtraTreesRegressor",
+    "PoolCodes",
+    "PoolRouter",
+    "RouterTables",
+    "pool_codes",
+    "pool_codes_shared",
+    "shared_router_predict",
+]
 
 #: Columns with more distinct values than this fall back to float descent.
 MAX_ROUTER_CARD = 64
@@ -59,6 +70,10 @@ class PoolCodes:
         self.flat = self.codes.reshape(-1)
         self.columns = columns
         self.n, self.d = codes.shape
+        #: Shared-memory spec of ``codes`` when the matrix lives in a
+        #: :class:`~repro.surf.shared.SharedArray` (set by the driver;
+        #: lets predict workers attach instead of receiving a pickle).
+        self.spec: tuple | None = None
 
 
 def pool_codes(X: np.ndarray, max_card: int = MAX_ROUTER_CARD) -> PoolCodes | None:
@@ -75,6 +90,201 @@ def pool_codes(X: np.ndarray, max_card: int = MAX_ROUTER_CARD) -> PoolCodes | No
         codes[:, j] = np.searchsorted(vals, X[:, j])
         columns.append(vals)
     return PoolCodes(codes, columns)
+
+
+def _codes_task(X_spec, out_spec, cols, max_card):
+    """Worker: rank-code one block of design-matrix columns in place.
+
+    Reads the shared design matrix, writes the shared codes matrix for
+    ``cols`` only, and returns the per-column sorted vocabularies (or
+    ``None`` where a column exceeds ``max_card`` — the parent then
+    abandons the router exactly like serial :func:`pool_codes`).
+    """
+    import os
+    import time
+
+    start = time.perf_counter()
+    X = attach_shared(X_spec)
+    out = attach_shared(out_spec)
+    columns: list[np.ndarray | None] = []
+    for j in cols:
+        vals = np.unique(X[:, j])
+        if vals.size > max_card:
+            columns.append(None)
+            continue
+        out[:, j] = np.searchsorted(vals, X[:, j])
+        columns.append(vals)
+    meta = {"seconds": time.perf_counter() - start,
+            "worker_pid": os.getpid(), "columns": len(cols)}
+    return columns, meta
+
+
+def pool_codes_shared(ctx, X_spec, n: int, d: int,
+                      max_card: int = MAX_ROUTER_CARD) -> PoolCodes | None:
+    """Column-parallel :func:`pool_codes` over a shared design matrix.
+
+    Bitwise-identical to the serial path for any worker count: each
+    column's vocabulary and rank codes depend only on that column, and
+    workers each own a disjoint column block of the shared output.  The
+    returned :class:`PoolCodes` is backed by a context-owned segment with
+    ``spec`` set, so predict workers attach it for free.
+    """
+    shared_codes = ctx.allocate((n, d), np.uint8)
+    ranges = chunk_ranges(d, ctx.workers)
+    payloads = [
+        (X_spec, shared_codes.spec, list(range(s, e)), max_card)
+        for s, e in ranges
+    ]
+    parts = ctx.run_chunks(_codes_task, payloads, span_name="search.codes.chunk")
+    columns: list[np.ndarray] = []
+    for part in parts:
+        for vals in part:
+            if vals is None:
+                return None
+            columns.append(vals)
+    codes = PoolCodes(shared_codes.array, columns)
+    codes.spec = shared_codes.spec
+    return codes
+
+
+@dataclass
+class RouterTables:
+    """The detachable half of a :class:`PoolRouter`: every array the coded
+    descent needs *except* the pool itself.
+
+    Small (next-state table, leaf values, per-tree roots/order — hundreds
+    of KB at paper-scale budgets), so it travels to predict workers by
+    pickle while the pool-sized code matrix travels by shared memory.
+    All descent methods are bitwise chunk-invariant: each row's walk is
+    independent, and the cross-tree mean/std reduce per column in fixed
+    tree order, so any row partition concatenates to the serial answer.
+    """
+
+    table: np.ndarray
+    value: np.ndarray
+    roots: np.ndarray
+    order: np.ndarray
+    active: np.ndarray
+    depth: int
+    shift: int
+    fbits: int
+    fmask: int
+    nt: int
+    d: int
+    dtype: np.dtype
+
+    def _descend(self, cflat: np.ndarray, ids: np.ndarray):
+        """Yield ``(start, stop, seed_values)`` leaf-value blocks, with
+        trees back in seed order — the shared core of every predictor."""
+        ids = np.asarray(ids, dtype=np.int64)
+        m = ids.size
+        nt = self.nt
+        table = self.table
+        fmask, fbits, shift = self.fmask, self.fbits, self.shift
+        block = max(1, ROUTER_BLOCK_STATES // max(nt, 1))
+        for s in range(0, m, block):
+            e = min(s + block, m)
+            blk = e - s
+            st = np.repeat(self.roots, blk).reshape(nt, blk)
+            row_d = (ids[s:e] * self.d).astype(self.dtype)[None, :]
+            for lvl in range(self.depth):
+                a = int(self.active[lvl])
+                part = st[:a]
+                code = cflat[row_d + (part & fmask)]
+                st[:a] = table[((part >> fbits) << shift) + code]
+            values = self.value[st >> fbits]
+            seed_values = np.empty_like(values)
+            seed_values[self.order] = values  # back to seed tree order
+            yield s, e, seed_values
+
+    def leaf_values(self, cflat: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Per-tree leaf predictions for pool rows ``ids`` — (nt, m)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        out = np.empty((self.nt, ids.size))
+        for s, e, seed_values in self._descend(cflat, ids):
+            out[:, s:e] = seed_values
+        return out
+
+    def predict(self, cflat: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Ensemble mean — bitwise equal to ``forest.predict(X[ids])``.
+
+        Fused with the descent: each block accumulates its own mean in
+        seed tree order instead of materializing the (nt, m) leaf matrix
+        twice (per-column sums see the same addends in the same order, so
+        block width cannot change a bit)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        acc = np.zeros(ids.size)
+        for s, e, seed_values in self._descend(cflat, ids):
+            sub = acc[s:e]
+            for row in seed_values:  # seed accumulation order: tree 0, 1, ...
+                sub += row
+        return acc / self.nt
+
+    def predict_mean_std(
+        self, cflat: np.ndarray, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both ensemble moments from a single descent.
+
+        ``predict`` + ``predict_std`` walk every tree twice for the same
+        ids; acquisition rules that need uncertainty (e.g. a lower
+        confidence bound) get both here for one descent, each bitwise
+        equal to its separate counterpart."""
+        ids = np.asarray(ids, dtype=np.int64)
+        mean = np.zeros(ids.size)
+        std = np.empty(ids.size)
+        for s, e, seed_values in self._descend(cflat, ids):
+            sub = mean[s:e]
+            for row in seed_values:
+                sub += row
+            std[s:e] = seed_values.std(axis=0)
+        return mean / self.nt, std
+
+
+def _predict_task(tables: RouterTables, codes_spec, ids, mode):
+    """Worker: run one chunk of a router predict pass over shared codes."""
+    import os
+    import time
+
+    start = time.perf_counter()
+    cflat = attach_shared(codes_spec).reshape(-1)
+    if mode == "mean":
+        out = tables.predict(cflat, ids)
+    elif mode == "mean_std":
+        out = np.stack(tables.predict_mean_std(cflat, ids))
+    else:
+        out = tables.leaf_values(cflat, ids)
+    meta = {"seconds": time.perf_counter() - start,
+            "worker_pid": os.getpid(), "rows": int(np.asarray(ids).size)}
+    return out, meta
+
+
+def shared_router_predict(ctx, router: "PoolRouter", ids: np.ndarray,
+                          mode: str = "mean", parent=None):
+    """Fan one predict pass out over the worker pool, chunked by rows.
+
+    Requires the router's pool codes to live in shared memory
+    (``router.pool.spec`` set).  Returns what the serial method of the
+    same ``mode`` returns, bitwise: per-row descents are independent and
+    chunks are concatenated in row order.
+    """
+    spec = router.pool.spec
+    if spec is None:
+        raise SearchError("router pool codes are not in shared memory")
+    ids = np.asarray(ids, dtype=np.int64)
+    ranges = chunk_ranges(ids.size, ctx.workers)
+    payloads = [
+        (router.tables, spec, ids[s:e], mode) for s, e in ranges
+    ]
+    parts = ctx.run_chunks(
+        _predict_task, payloads, span_name="search.predict.chunk",
+        parent=parent,
+    )
+    if mode == "mean":
+        return np.concatenate(parts)
+    out = np.concatenate(parts, axis=1)
+    if mode == "mean_std":
+        return out[0], out[1]
+    return out
 
 
 class PoolRouter:
@@ -121,62 +331,67 @@ class PoolRouter:
                 packed[forest._left[internal], None],
                 packed[forest._right[internal], None],
             )
-        self._pool = pool
-        self._table = table.reshape(-1)
-        self._dtype = dtype
-        self._shift = shift
-        self._fbits = fbits
-        self._fmask = (1 << fbits) - 1
-        self._depth = forest._max_depth
-        self._value = forest._value
-        self._nt = forest._roots.size
+        self.pool = pool
         # Trees sorted deepest-first: at level L only the prefix of trees
         # deeper than L still routes, so each tree costs exactly its own
         # depth instead of the ensemble max.
         order = np.argsort(-forest._tree_depths, kind="stable")
-        self._order = order
-        self._roots = packed[forest._roots][order]
-        self._active = np.searchsorted(
-            -forest._tree_depths[order], -np.arange(max(self._depth, 1)),
-            side="left",
+        depth = forest._max_depth
+        self.tables = RouterTables(
+            table=table.reshape(-1),
+            value=forest._value,
+            roots=packed[forest._roots][order],
+            order=order,
+            active=np.searchsorted(
+                -forest._tree_depths[order], -np.arange(max(depth, 1)),
+                side="left",
+            ),
+            depth=depth,
+            shift=shift,
+            fbits=fbits,
+            fmask=(1 << fbits) - 1,
+            nt=forest._roots.size,
+            d=d,
+            dtype=np.dtype(dtype),
         )
 
     def leaf_values(self, ids: np.ndarray) -> np.ndarray:
         """Per-tree leaf predictions for pool rows ``ids`` — (nt, m)."""
-        ids = np.asarray(ids, dtype=np.int64)
-        m = ids.size
-        nt = self._nt
-        d = self._pool.d
-        cflat = self._pool.flat
-        table = self._table
-        fmask, fbits, shift = self._fmask, self._fbits, self._shift
-        out = np.empty((nt, m))
-        block = max(1, ROUTER_BLOCK_STATES // max(nt, 1))
-        for s in range(0, m, block):
-            e = min(s + block, m)
-            blk = e - s
-            st = np.repeat(self._roots, blk).reshape(nt, blk)
-            row_d = (ids[s:e] * d).astype(self._dtype)[None, :]
-            for lvl in range(self._depth):
-                a = int(self._active[lvl])
-                part = st[:a]
-                code = cflat[row_d + (part & fmask)]
-                st[:a] = table[((part >> fbits) << shift) + code]
-            out[:, s:e] = self._value[st >> fbits]
-        unsorted = np.empty_like(out)
-        unsorted[self._order] = out  # back to seed tree order
-        return unsorted
+        return self.tables.leaf_values(self.pool.flat, ids)
 
     def predict(self, ids: np.ndarray) -> np.ndarray:
         """Ensemble mean over pool rows — bitwise equal to ``predict(X[ids])``."""
-        leaves = self.leaf_values(ids)
-        acc = np.zeros(leaves.shape[1])
-        for row in leaves:  # seed accumulation order: tree 0, 1, ...
-            acc += row
-        return acc / self._nt
+        return self.tables.predict(self.pool.flat, ids)
 
     def predict_std(self, ids: np.ndarray) -> np.ndarray:
-        return self.leaf_values(ids).std(axis=0)
+        return self.tables.leaf_values(self.pool.flat, ids).std(axis=0)
+
+    def predict_mean_std(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(mean, std) from one descent — see :meth:`RouterTables.predict_mean_std`."""
+        return self.tables.predict_mean_std(self.pool.flat, ids)
+
+
+def _fit_task(params, X, y, seed, fit_count, lo, hi):
+    """Worker: fit trees ``lo..hi-1`` of one refit.
+
+    Each tree derives its rng substream from (seed, index, refit count)
+    alone, so a tree fits bitwise the same on any process; the history
+    matrix is small (≤ nmax rows) and travels by pickle.
+    """
+    import os
+    import time
+
+    start = time.perf_counter()
+    states = []
+    for i in range(lo, hi):
+        tree = ExtraTreeRegressor(
+            rng=spawn_rng(seed, "tree", i, "refit", fit_count), **params
+        )
+        tree.fit(X, y)
+        states.append(tree_state(tree))
+    meta = {"seconds": time.perf_counter() - start,
+            "worker_pid": os.getpid(), "trees": hi - lo}
+    return states, meta
 
 
 class ExtraTreesRegressor:
@@ -221,8 +436,20 @@ class ExtraTreesRegressor:
         self._max_depth = 0
         self._tree_depths: np.ndarray | None = None
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "ExtraTreesRegressor":
-        """(Re)fit the whole ensemble; refits advance the random streams."""
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, worker_ctx=None, parent_span=None
+    ) -> "ExtraTreesRegressor":
+        """(Re)fit the whole ensemble; refits advance the random streams.
+
+        With a :class:`~repro.surf.shared.SearchWorkerContext`, tree
+        ranges fit on worker processes concurrently.  Tree ``i`` draws
+        every split from its own ``spawn_rng(seed, "tree", i, "refit",
+        fit_count)`` substream wherever it runs, and the fitted trees are
+        merged back in tree order, so the packed ensemble — and every
+        stream the next refit derives — is bitwise independent of the
+        worker count."""
+        if worker_ctx is not None and self.n_estimators > 1:
+            return self._fit_shared(X, y, worker_ctx, parent_span)
         self._trees = []
         for i in range(self.n_estimators):
             tree = ExtraTreeRegressor(
@@ -233,6 +460,34 @@ class ExtraTreesRegressor:
             )
             tree.fit(X, y)
             self._trees.append(tree)
+        self._fit_count += 1
+        self._pack()
+        return self
+
+    def _fit_shared(
+        self, X: np.ndarray, y: np.ndarray, ctx, parent_span=None
+    ) -> "ExtraTreesRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        params = {
+            "max_features": self.max_features,
+            "min_samples_split": self.min_samples_split,
+            "max_depth": self.max_depth,
+        }
+        ranges = chunk_ranges(self.n_estimators, ctx.workers)
+        payloads = [
+            (params, X, y, self.seed, self._fit_count, lo, hi)
+            for lo, hi in ranges
+        ]
+        parts = ctx.run_chunks(
+            _fit_task, payloads, span_name="search.fit.chunk",
+            parent=parent_span,
+        )
+        self._trees = [
+            from_tree_state(state, **params)
+            for part in parts
+            for state in part
+        ]
         self._fit_count += 1
         self._pack()
         return self
@@ -321,6 +576,18 @@ class ExtraTreesRegressor:
             raise SearchError("forest has not been fit")
         X = np.asarray(X, dtype=np.float64)
         return self._leaf_values(X).std(axis=0)
+
+    def predict_mean_std(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Both ensemble moments from one leaf descent — bitwise equal to
+        ``(predict(X), predict_std(X))`` at half the tree walks."""
+        if not self._trees:
+            raise SearchError("forest has not been fit")
+        X = np.asarray(X, dtype=np.float64)
+        leaves = self._leaf_values(X)
+        acc = np.zeros(X.shape[0])
+        for row in leaves:  # seed accumulation order: tree 0, 1, ...
+            acc += row
+        return acc / len(self._trees), leaves.std(axis=0)
 
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Coefficient of determination R^2 on (X, y)."""

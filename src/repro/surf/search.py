@@ -50,13 +50,29 @@ from repro.obs.tracer import get_tracer
 from repro.surf.binarize import FeatureBinarizer, OrdinalEncoder
 from repro.surf.checkpoint import SearchCheckpointer, rng_state, set_rng_state
 from repro.surf.evaluator import PENALTY_SECONDS
-from repro.surf.forest import ExtraTreesRegressor, pool_codes
-from repro.surf.pool import SMALL_POOL_LIMIT, GrowableArray, as_pool
+from repro.surf.forest import (
+    ExtraTreesRegressor,
+    pool_codes,
+    pool_codes_shared,
+    shared_router_predict,
+)
+from repro.surf.pool import (
+    SMALL_POOL_LIMIT,
+    GrowableArray,
+    SharedPool,
+    SpacePool,
+    as_pool,
+)
+from repro.surf.shared import SearchWorkerContext, resolve_search_workers
 from repro.surf.telemetry import SearchTelemetry
 from repro.tcr.space import ProgramConfig
 from repro.util.rng import spawn_rng
 
 __all__ = ["SearchResult", "SURFSearch", "clamp_targets"]
+
+#: Exploration weight of the ``"lcb"`` acquisition rule: candidates rank
+#: by ``mean - LCB_KAPPA * std`` (lower confidence bound on log-time).
+LCB_KAPPA = 1.0
 
 
 def _bottom_k_stable(keys: np.ndarray, k: int) -> np.ndarray:
@@ -145,6 +161,8 @@ class SURFSearch:
         log_objective: bool = True,
         binarize: bool = True,
         tie_break: str = "lexsort",
+        search_workers: int | None = None,
+        acquisition: str = "mean",
     ) -> None:
         """``explore_fraction`` of each batch is drawn at random instead of
         by predicted rank (keeps the surrogate from tunnel-visioning on one
@@ -162,13 +180,28 @@ class SURFSearch:
         and stable-sort): at prediction magnitudes ≳1 the jitter is
         absorbed into the float and ties break by pool order instead; it
         is kept because existing checkpoints/baselines pin its exact rng
-        stream."""
+        stream.
+
+        ``search_workers`` fans the search core's own hot loops — the
+        per-refit forest fit, the full-pool predict pass, and the odometer
+        encode — out over that many worker processes (shared-memory pool,
+        see :mod:`repro.surf.shared`).  Results are bitwise-identical for
+        every worker count; ``None`` consults ``REPRO_SEARCH_WORKERS``
+        (unset = 1 = today's serial path, byte for byte).
+
+        ``acquisition`` ranks the not-yet-evaluated pool each iteration:
+        ``"mean"`` (default, the paper's rule) by the ensemble-mean
+        prediction alone; ``"lcb"`` by the lower confidence bound ``mean -
+        kappa * std``, which needs both moments and gets them from one
+        combined tree descent (:meth:`PoolRouter.predict_mean_std`)."""
         if batch_size < 1 or max_evaluations < 1:
             raise SearchError("batch size and evaluation budget must be >= 1")
         if not 0.0 <= explore_fraction < 1.0:
             raise SearchError("explore_fraction must be in [0, 1)")
         if tie_break not in ("lexsort", "jitter"):
             raise SearchError("tie_break must be 'lexsort' or 'jitter'")
+        if acquisition not in ("mean", "lcb"):
+            raise SearchError("acquisition must be 'mean' or 'lcb'")
         self.batch_size = batch_size
         self.max_evaluations = max_evaluations
         self.n_estimators = n_estimators
@@ -178,6 +211,8 @@ class SURFSearch:
         self.log_objective = log_objective
         self.binarize = binarize
         self.tie_break = tie_break
+        self.search_workers = resolve_search_workers(search_workers)
+        self.acquisition = acquisition
 
     def search(
         self,
@@ -193,19 +228,59 @@ class SURFSearch:
         every completed batch, and a prior state (same run fingerprint) is
         restored before the first — the continued run is bitwise identical
         to one that was never interrupted.
+
+        With ``search_workers > 1`` a per-run worker context (process pool
+        + shared-memory segments) lives for exactly this call; every value
+        the search produces — champion, history, rng stream, checkpoint
+        states — is bitwise-identical to the serial run, so the worker
+        count is deliberately absent from run fingerprints and checkpoint
+        state (a run may resume under a different count).
         """
         pool = as_pool(pool)
         n = len(pool)
         if n == 0:
             raise SearchError("configuration pool is empty")
+        ctx = SearchWorkerContext.create(self.search_workers)
+        try:
+            if ctx is not None and type(pool) is SpacePool:
+                pool = SharedPool.from_pool(pool, ctx)
+            return self._search(
+                pool, evaluate_batch, wall_seconds, telemetry, checkpointer, ctx
+            )
+        finally:
+            if ctx is not None:
+                ctx.close()
+
+    def _search(
+        self, pool, evaluate_batch, wall_seconds, telemetry, checkpointer, ctx
+    ) -> SearchResult:
+        n = len(pool)
+        workers = ctx.workers if ctx is not None else 1
         if telemetry is None:
             telemetry = SearchTelemetry()
         rng = spawn_rng(self.seed, "surf-driver")
         encoder = FeatureBinarizer() if self.binarize else OrdinalEncoder()
-        X_all = pool.design_matrix(encoder)
+        with get_tracer().span(
+            "search.encode", category="search", rows=n, workers=workers
+        ):
+            X_all = pool.design_matrix(encoder)
         # Coded twin of X_all for the router fast path (None if any column
         # is too wide — prediction then falls back to float descent).
-        codes = pool_codes(X_all)
+        with get_tracer().span(
+            "search.codes", category="search", rows=n, workers=workers
+        ):
+            if (
+                ctx is not None
+                and isinstance(pool, SharedPool)
+                and pool.X_spec is not None
+            ):
+                codes = pool_codes_shared(ctx, pool.X_spec, n, X_all.shape[1])
+            else:
+                codes = pool_codes(X_all)
+                if ctx is not None and codes is not None:
+                    # Materialized-pool fallback: copy the codes into a
+                    # context segment so predict workers can attach them.
+                    codes.spec = ctx.share(codes.codes).spec
 
         alive = np.ones(n, dtype=bool)  # not yet dispatched
         nmax = min(self.max_evaluations, n)
@@ -224,17 +299,25 @@ class SURFSearch:
 
         def run_batch(ids: list[int]) -> None:
             nonlocal useful, best_y
-            configs = pool.configs(ids)
-            ys = evaluate_batch(configs)
+            tracer = get_tracer()
+            with tracer.span(
+                "search.materialize", category="search", batch=len(ids)
+            ):
+                configs = pool.configs(ids)
+            with tracer.span(
+                "search.evaluate", category="search", batch=len(ids)
+            ):
+                ys = evaluate_batch(configs)
             if len(ys) != len(configs):
                 raise SearchError("evaluator returned a mismatched batch")
-            ys = [float(y) for y in ys]
-            for cfg, y in zip(configs, ys):
-                history.append((cfg, y))
-            hist_ids.extend(ids)
-            y_hist.extend(ys)
-            useful += int(np.isfinite(np.array(ys)).sum())
-            best_y = min(best_y, min(ys))
+            with tracer.span("search.history", category="search", batch=len(ids)):
+                ys = [float(y) for y in ys]
+                for cfg, y in zip(configs, ys):
+                    history.append((cfg, y))
+                hist_ids.extend(ids)
+                y_hist.extend(ys)
+                useful += int(np.isfinite(np.array(ys)).sum())
+                best_y = min(best_y, min(ys))
 
         def targets() -> np.ndarray:
             y = clamp_targets(y_hist.view)
@@ -243,10 +326,15 @@ class SURFSearch:
         def refit(model) -> float:
             nonlocal router
             with get_tracer().span(
-                "search.fit", category="search", observations=len(y_hist)
-            ):
+                "search.fit", category="search",
+                observations=len(y_hist), workers=workers,
+                chunks=(min(workers, model.n_estimators) if ctx else 1),
+            ) as sp:
                 start = time.perf_counter()
-                model.fit(X_all[hist_ids.view], targets())
+                model.fit(
+                    X_all[hist_ids.view], targets(),
+                    worker_ctx=ctx, parent_span=sp,
+                )
                 router = model.make_router(codes)
                 return time.perf_counter() - start
 
@@ -325,28 +413,53 @@ class SURFSearch:
             bs = min(self.batch_size, nmax - useful, m)
             n_explore = min(int(round(bs * self.explore_fraction)), bs - 1)
             take = bs - n_explore
-            preds = (
-                router.predict(alive_ids)
-                if router is not None
-                else model.predict(X_all[alive_ids])
+            shared = (
+                ctx is not None and router is not None
+                and router.pool.spec is not None
             )
-            if self.tie_break == "jitter":
-                jitter = rng.uniform(0, 1e-12, size=m)
-                sel = _bottom_k_stable(preds + jitter, take)
-            else:
-                perm = rng.permutation(m)
-                sel = _bottom_k_lex(preds, perm, take)
-            batch_ids = alive_ids[sel].tolist()
-            if n_explore:
-                keep = np.ones(m, dtype=bool)
-                keep[sel] = False
-                leftovers = alive_ids[keep]
-                pick = rng.choice(
-                    leftovers.size,
-                    size=min(n_explore, leftovers.size),
-                    replace=False,
-                )
-                batch_ids.extend(leftovers[np.sort(pick)].tolist())
+            with get_tracer().span(
+                "search.predict", category="search", rows=m,
+                workers=workers, chunks=(workers if shared else 1),
+                acquisition=self.acquisition,
+            ) as sp:
+                if self.acquisition == "lcb":
+                    if shared:
+                        mean, std = shared_router_predict(
+                            ctx, router, alive_ids, "mean_std", parent=sp
+                        )
+                    elif router is not None:
+                        mean, std = router.predict_mean_std(alive_ids)
+                    else:
+                        mean, std = model.predict_mean_std(X_all[alive_ids])
+                    preds = mean - LCB_KAPPA * std
+                elif shared:
+                    preds = shared_router_predict(
+                        ctx, router, alive_ids, "mean", parent=sp
+                    )
+                elif router is not None:
+                    preds = router.predict(alive_ids)
+                else:
+                    preds = model.predict(X_all[alive_ids])
+            with get_tracer().span(
+                "search.select", category="search", rows=m, take=take
+            ):
+                if self.tie_break == "jitter":
+                    jitter = rng.uniform(0, 1e-12, size=m)
+                    sel = _bottom_k_stable(preds + jitter, take)
+                else:
+                    perm = rng.permutation(m)
+                    sel = _bottom_k_lex(preds, perm, take)
+                batch_ids = alive_ids[sel].tolist()
+                if n_explore:
+                    keep = np.ones(m, dtype=bool)
+                    keep[sel] = False
+                    leftovers = alive_ids[keep]
+                    pick = rng.choice(
+                        leftovers.size,
+                        size=min(n_explore, leftovers.size),
+                        replace=False,
+                    )
+                    batch_ids.extend(leftovers[np.sort(pick)].tolist())
             alive[batch_ids] = False
             run_batch(batch_ids)
             fit_s = refit(model)

@@ -1,0 +1,271 @@
+"""Multi-core plumbing for the array-native search core.
+
+The SURF inner loop is embarrassingly parallel in three places — the
+per-refit forest fit (independent rng substream per tree), the full-pool
+router descent (independent per row), and the odometer encode (independent
+per row) — but numpy's gather/fancy-indexing kernels hold the GIL, so
+threads cannot scale them.  This module provides the process-worker
+infrastructure instead:
+
+``SharedArray`` / ``attach_shared``
+    Numpy arrays backed by ``multiprocessing.shared_memory``.  The parent
+    creates segments for the pool-sized operands (id vector, rank-coded
+    design matrix, encode output); workers attach by name and never
+    receive a pickled pool.  Attachments are cached per process, and the
+    worker-side ``resource_tracker`` registration is undone immediately —
+    CPython registers shared memory on *attach* as well as create, and a
+    worker exiting must not unlink segments the parent still owns.
+
+``SearchWorkerPool``
+    A persistent ``ProcessPoolExecutor`` (fork start method where the
+    platform offers it — workers inherit the parent's imports for free)
+    sized to ``workers`` processes, reused across every parallel stage of
+    one search run.
+
+``SearchWorkerContext``
+    The per-run bundle the driver threads through: the worker pool, the
+    registry of owned segments (so teardown is exception-safe), and
+    ``run_chunks`` — submit one task per contiguous chunk, collect results
+    in submission order, and record a child tracer span per chunk under
+    the caller's phase span.
+
+Bitwise contract: every parallel stage in this repo partitions rows (or
+trees, or columns) into contiguous chunks, computes each chunk exactly as
+the serial code would, and reassembles in chunk order.  Because the serial
+kernels are themselves per-row (per-tree, per-column) independent, the
+result is bitwise-identical for *any* worker count — ``search_workers`` is
+a throughput knob, never a semantics knob.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SharedArray",
+    "SearchWorkerPool",
+    "SearchWorkerContext",
+    "attach_shared",
+    "chunk_ranges",
+    "resolve_search_workers",
+]
+
+#: Environment variable consulted when ``search_workers`` is unset.
+SEARCH_WORKERS_ENV = "REPRO_SEARCH_WORKERS"
+
+
+def resolve_search_workers(value: int | None) -> int:
+    """``value`` if given, else ``REPRO_SEARCH_WORKERS``, else 1 (serial)."""
+    if value is None:
+        value = int(os.environ.get(SEARCH_WORKERS_ENV, "1") or 1)
+    return max(1, int(value))
+
+
+def chunk_ranges(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into at most ``parts`` contiguous, non-empty,
+    near-equal ranges (first ``total % parts`` ranges get the extra row)."""
+    parts = max(1, min(int(parts), int(total)))
+    base, extra = divmod(int(total), parts)
+    ranges = []
+    start = 0
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+# ----------------------------------------------------------------------
+# Shared-memory arrays.
+
+#: Per-process cache of attached segments: name -> (SharedMemory, ndarray).
+#: Keeps worker attach cost to one dict lookup per task and keeps the
+#: mapped segment alive for the worker's lifetime.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def attach_shared(spec: tuple[str, tuple[int, ...], str]) -> np.ndarray:
+    """Attach (or re-use) the shared segment described by ``spec`` and
+    return the ndarray view.  Safe to call in parent and workers alike."""
+    name, shape, dtype = spec
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        return cached[1]
+    # Note on the resource tracker: CPython registers shared memory on
+    # attach as well as create, but pool workers (fork or spawn) inherit
+    # the parent's tracker process, whose per-type cache is a set — the
+    # worker-side re-registration collapses into the parent's entry and
+    # the single unlink at context teardown clears it.  Unregistering
+    # here would double-remove and make the tracker log KeyErrors.
+    shm = shared_memory.SharedMemory(name=name)
+    array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    _ATTACHED[name] = (shm, array)
+    return array
+
+
+class SharedArray:
+    """A parent-owned numpy array in a shared-memory segment.
+
+    ``spec`` is the picklable handle workers pass to :func:`attach_shared`.
+    The parent must keep the instance alive while workers use it and call
+    :meth:`unlink` when done (``SearchWorkerContext`` automates both).
+    """
+
+    def __init__(self, source: np.ndarray | None = None, *,
+                 shape: tuple[int, ...] | None = None,
+                 dtype=None) -> None:
+        if source is not None:
+            shape = source.shape
+            dtype = source.dtype
+        if shape is None or dtype is None:
+            raise ValueError("SharedArray needs a source array or shape+dtype")
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.array = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+        if source is not None:
+            self.array[...] = source
+        self.spec = (self._shm.name, tuple(shape), dtype.str)
+
+    def close(self) -> None:
+        # Drop the mapping before closing: an ndarray view outliving the
+        # closed mmap would be a use-after-free.
+        self.array = None
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+
+    def unlink(self) -> None:
+        self.close()
+        try:
+            self._shm.unlink()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker pool and per-run context.
+
+def _preferred_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class SearchWorkerPool:
+    """A persistent process pool for the search core's parallel stages.
+
+    One pool serves a whole search run: fits, predict passes, and encodes
+    all reuse the same worker processes, so per-stage overhead is one
+    pickle round-trip of the small task payload (routers, encoders, tree
+    parameters — the pool-sized operands travel via shared memory).
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, int(workers))
+        self._executor: ProcessPoolExecutor | None = None
+
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=_preferred_context()
+            )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+
+class SearchWorkerContext:
+    """Everything one parallel search run owns: pool + shared segments.
+
+    Created by the driver when ``search_workers > 1`` (and shared memory
+    is actually available), handed down to the stages that fan out, and
+    closed in a ``finally`` so segments never leak past the run.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(2, int(workers))
+        self.pool = SearchWorkerPool(self.workers)
+        self._segments: list[SharedArray] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, workers: int) -> "SearchWorkerContext | None":
+        """Build a context, or None when parallelism cannot help/work:
+        ``workers <= 1``, or shared memory unavailable on this host."""
+        if workers is None or int(workers) <= 1:
+            return None
+        try:
+            probe = shared_memory.SharedMemory(create=True, size=1)
+            probe.close()
+            probe.unlink()
+        except Exception:
+            return None
+        return cls(int(workers))
+
+    # ------------------------------------------------------------------
+    def share(self, array: np.ndarray) -> SharedArray:
+        """Copy ``array`` into a context-owned shared segment."""
+        shared = SharedArray(array)
+        self._segments.append(shared)
+        return shared
+
+    def allocate(self, shape: tuple[int, ...], dtype) -> SharedArray:
+        """A context-owned uninitialized shared array (worker-filled)."""
+        shared = SharedArray(shape=shape, dtype=dtype)
+        self._segments.append(shared)
+        return shared
+
+    # ------------------------------------------------------------------
+    def run_chunks(self, fn, payloads: list, span_name: str = "",
+                   parent=None) -> list:
+        """Run ``fn(*payload)`` for every payload on the worker pool and
+        return results in payload order.
+
+        Each task's wall time becomes a child span of ``parent`` (when a
+        real tracer is ambient): the span opens at submission and closes
+        when the task's result is collected, with the worker-measured
+        compute seconds and worker pid attached from the task's returned
+        ``(result, meta)`` pair.
+        """
+        from repro.obs.tracer import get_tracer
+
+        executor = self.pool.executor()
+        futures = [executor.submit(fn, *payload) for payload in payloads]
+        tracer = get_tracer()
+        traced = tracer.enabled and span_name
+        results = []
+        for i, future in enumerate(futures):
+            if traced:
+                with tracer.span(
+                    span_name, category="search", parent=parent, chunk=i
+                ) as sp:
+                    result, meta = future.result()
+                    sp.set(**meta)
+            else:
+                result, meta = future.result()
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.pool.close()
+        for segment in self._segments:
+            segment.unlink()
+        self._segments.clear()
+
+    def __enter__(self) -> "SearchWorkerContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -18,7 +18,28 @@ import numpy as np
 
 from repro.errors import SearchError
 
-__all__ = ["ExtraTreeRegressor"]
+__all__ = ["ExtraTreeRegressor", "from_tree_state", "tree_state"]
+
+
+def tree_state(tree: "ExtraTreeRegressor") -> tuple[np.ndarray, ...]:
+    """The five flat node arrays of a fitted tree — the complete fitted
+    state, in a pickle-friendly tuple for shipping between processes."""
+    if tree._feature is None:
+        raise SearchError("tree has not been fit")
+    return (tree._feature, tree._threshold, tree._left, tree._right, tree._value)
+
+
+def from_tree_state(
+    state: tuple[np.ndarray, ...], **params
+) -> "ExtraTreeRegressor":
+    """Rebuild a fitted tree from :func:`tree_state` output.
+
+    The reconstructed tree predicts bitwise like the original; its rng is
+    a fresh (never consumed) generator — fitted trees draw nothing more.
+    """
+    tree = ExtraTreeRegressor(**params)
+    (tree._feature, tree._threshold, tree._left, tree._right, tree._value) = state
+    return tree
 
 
 class ExtraTreeRegressor:

@@ -252,6 +252,155 @@ class TestRouterParity:
         )
 
 
+class TestParallelParity:
+    """``search_workers > 1`` must be invisible in every result artifact:
+    champion, history, rng stream, and checkpoint state are pinned bitwise
+    against the serial driver (worker count is a throughput knob only)."""
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    @pytest.mark.parametrize("binarize", [True, False])
+    def test_workers_match_serial(self, setup, tmp_path, workers, binarize):
+        program, space, ids, _pool, model = setup
+        kwargs = dict(
+            batch_size=7, max_evaluations=40, seed=11, binarize=binarize
+        )
+        new, serial = _run_pair(
+            SURFSearch(search_workers=workers, **kwargs),
+            SURFSearch(**kwargs),
+            SpacePool(space, ids), program, model, tmp_path,
+        )
+        _assert_same_run(new, serial, state_keys=SURF_STATE_KEYS)
+
+    def test_workers_match_serial_with_faults(self, setup, tmp_path):
+        program, space, ids, _pool, model = setup
+        kwargs = dict(batch_size=10, max_evaluations=50, seed=5)
+        new, serial = _run_pair(
+            SURFSearch(search_workers=2, **kwargs),
+            SURFSearch(**kwargs),
+            SpacePool(space, ids), program, model, tmp_path,
+            make_evaluator=_faulty_evaluator,
+        )
+        ys = [y for _c, y in new[0].history]
+        assert any(not np.isfinite(y) for y in ys)  # faults actually fire
+        _assert_same_run(new, serial, state_keys=SURF_STATE_KEYS)
+
+    def test_workers_match_serial_on_materialized_pool(self, setup, tmp_path):
+        # Config-list pools skip the shared encode but still fan out the
+        # predict passes (codes copied into shared memory post-encode).
+        program, _space, _ids, pool, model = setup
+        kwargs = dict(batch_size=7, max_evaluations=35, seed=4)
+        new, serial = _run_pair(
+            SURFSearch(search_workers=2, **kwargs),
+            SURFSearch(**kwargs),
+            pool, program, model, tmp_path,
+        )
+        _assert_same_run(new, serial, state_keys=SURF_STATE_KEYS)
+
+    def test_resume_under_different_worker_count(self, setup, tmp_path):
+        # A run checkpointed under one worker count resumes under another
+        # (parallel -> serial here) and finishes bitwise-identical to an
+        # uninterrupted serial run: search_workers is fingerprint-neutral.
+        program, space, ids, _pool, model = setup
+        kwargs = dict(batch_size=8, max_evaluations=48, seed=7)
+
+        reference = SURFSearch(**kwargs).search(
+            SpacePool(space, ids),
+            _plain_evaluator(program, model).evaluate_batch,
+        )
+
+        class Interrupt(Exception):
+            pass
+
+        manager = CheckpointManager(tmp_path / "resume-parallel")
+        calls = 0
+
+        def dying_evaluate(batch):
+            nonlocal calls
+            calls += 1
+            if calls > 3:
+                raise Interrupt
+            return _plain_evaluator(program, model).evaluate_batch(batch)
+
+        with pytest.raises(Interrupt):
+            SURFSearch(search_workers=2, **kwargs).search(
+                SpacePool(space, ids), dying_evaluate,
+                checkpointer=SearchCheckpointer(manager),
+            )
+
+        ck = SearchCheckpointer(manager)
+        ck.resume_state = manager.load()["searcher"]
+        resumed = SURFSearch(search_workers=3, **kwargs).search(
+            SpacePool(space, ids),
+            _plain_evaluator(program, model).evaluate_batch,
+            checkpointer=ck,
+        )
+        assert resumed.best_objective == reference.best_objective
+        assert [y for _c, y in resumed.history] == [
+            y for _c, y in reference.history
+        ]
+        assert [c.describe() for c, _y in resumed.history] == [
+            c.describe() for c, _y in reference.history
+        ]
+
+    def test_env_var_is_inert_for_random_and_exhaustive(
+        self, setup, tmp_path, monkeypatch
+    ):
+        # The baselines never consult the worker pool; the env knob must
+        # not perturb them (same history, same state).
+        program, _space, _ids, pool, model = setup
+        serial_runs = [
+            RandomSearch(batch_size=9, max_evaluations=45, seed=2).search(
+                pool, _plain_evaluator(program, model).evaluate_batch
+            ),
+            ExhaustiveSearch(batch_size=13, limit=52).search(
+                pool, _plain_evaluator(program, model).evaluate_batch
+            ),
+        ]
+        monkeypatch.setenv("REPRO_SEARCH_WORKERS", "3")
+        env_runs = [
+            RandomSearch(batch_size=9, max_evaluations=45, seed=2).search(
+                pool, _plain_evaluator(program, model).evaluate_batch
+            ),
+            ExhaustiveSearch(batch_size=13, limit=52).search(
+                pool, _plain_evaluator(program, model).evaluate_batch
+            ),
+        ]
+        for serial, env in zip(serial_runs, env_runs):
+            assert serial.best_objective == env.best_objective
+            assert [y for _c, y in serial.history] == [
+                y for _c, y in env.history
+            ]
+
+    def test_lcb_acquisition_parallel_matches_serial(self, setup, tmp_path):
+        program, space, ids, _pool, model = setup
+        kwargs = dict(
+            batch_size=7, max_evaluations=35, seed=9, acquisition="lcb"
+        )
+        new, serial = _run_pair(
+            SURFSearch(search_workers=2, **kwargs),
+            SURFSearch(**kwargs),
+            SpacePool(space, ids), program, model, tmp_path,
+        )
+        _assert_same_run(new, serial, state_keys=SURF_STATE_KEYS)
+
+    def test_lcb_changes_the_course(self, setup):
+        # Sanity that the acquisition knob is actually live: lcb explores
+        # differently from the pure-mean rule on the same seed.
+        program, space, ids, _pool, model = setup
+        kwargs = dict(batch_size=7, max_evaluations=35, seed=9)
+        mean_run = SURFSearch(**kwargs).search(
+            SpacePool(space, ids),
+            _plain_evaluator(program, model).evaluate_batch,
+        )
+        lcb_run = SURFSearch(acquisition="lcb", **kwargs).search(
+            SpacePool(space, ids),
+            _plain_evaluator(program, model).evaluate_batch,
+        )
+        assert [c.describe() for c, _y in mean_run.history] != [
+            c.describe() for c, _y in lcb_run.history
+        ]
+
+
 class TestTieBreak:
     """Satellite: equal predictions must not collapse to pool order."""
 

@@ -57,10 +57,16 @@ class TestStoreKey:
         base = StoreKey.from_manifest(manifest())
         assert StoreKey.from_manifest(manifest(workers=4)) == base
         assert StoreKey.from_manifest(manifest(fast_model=True)) == base
+        # search_workers is bitwise-neutral (the parallel search core is
+        # pinned identical to serial) and must not fragment the address.
+        assert StoreKey.from_manifest(manifest(search_workers=2)) == base
+        assert StoreKey.from_manifest(manifest(search_workers=8)) == base
         # ... but result-relevant settings change the address.
         assert StoreKey.from_manifest(manifest(max_evaluations=7)) != base
         assert StoreKey.from_manifest(manifest(batch_parallelism=3)) != base
+        assert StoreKey.from_manifest(manifest(acquisition="lcb")) != base
         assert "workers" in RESULT_NEUTRAL_SETTINGS
+        assert "search_workers" in RESULT_NEUTRAL_SETTINGS
 
 
 class TestConfigRoundTrip:

@@ -1,0 +1,252 @@
+"""Unit tests for the multi-core search plumbing (:mod:`repro.surf.shared`).
+
+The parity suite (``test_search_parity.py::TestParallelParity``) pins the
+end-to-end drivers; this file pins the pieces they are built from — the
+shared-memory arrays, the chunking arithmetic, and each parallel stage
+(encode, rank-coding, forest fit, router predict) bitwise against its
+serial counterpart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.surf import FeatureBinarizer, SpacePool
+from repro.surf.forest import (
+    ExtraTreesRegressor,
+    pool_codes,
+    pool_codes_shared,
+    shared_router_predict,
+)
+from repro.surf.pool import SharedPool
+from repro.surf.shared import (
+    SEARCH_WORKERS_ENV,
+    SearchWorkerContext,
+    SharedArray,
+    attach_shared,
+    chunk_ranges,
+    resolve_search_workers,
+)
+from repro.surf.tree import from_tree_state, tree_state
+from repro.tcr.decision import decide_search_space
+from repro.tcr.space import TuningSpace
+from repro.util.rng import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def space_and_ids():
+    from repro.core.pipeline import compile_contraction
+    from repro.dsl.parser import parse_contraction
+
+    from tests.conftest import EQN1_TEXT
+
+    contraction = parse_contraction(EQN1_TEXT, name="eqn1")
+    program = compile_contraction(contraction).minimal_flop_variants()[0].program
+    space = TuningSpace([decide_search_space(program)])
+    ids = space.sample_ids(min(400, space.size()), spawn_rng(0, "shared-pool"))
+    return space, np.sort(ids)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    context = SearchWorkerContext.create(3)
+    assert context is not None
+    yield context
+    context.close()
+
+
+class TestChunkRanges:
+    def test_covers_contiguously(self):
+        for total in (1, 2, 7, 100, 101):
+            for parts in (1, 2, 3, 7, 200):
+                ranges = chunk_ranges(total, parts)
+                assert ranges[0][0] == 0
+                assert ranges[-1][1] == total
+                for (_, e1), (s2, _) in zip(ranges, ranges[1:]):
+                    assert e1 == s2
+                assert all(e > s for s, e in ranges)  # non-empty
+                assert len(ranges) == min(parts, total)
+
+    def test_near_equal(self):
+        sizes = [e - s for s, e in chunk_ranges(103, 4)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 103
+
+
+class TestResolveSearchWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(SEARCH_WORKERS_ENV, "7")
+        assert resolve_search_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(SEARCH_WORKERS_ENV, "4")
+        assert resolve_search_workers(None) == 4
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv(SEARCH_WORKERS_ENV, raising=False)
+        assert resolve_search_workers(None) == 1
+
+    def test_floor_at_one(self):
+        assert resolve_search_workers(0) == 1
+        assert resolve_search_workers(-5) == 1
+
+
+class TestSharedArray:
+    def test_roundtrip_and_attach(self):
+        source = np.arange(24, dtype=np.float64).reshape(4, 6)
+        shared = SharedArray(source)
+        try:
+            assert np.array_equal(shared.array, source)
+            view = attach_shared(shared.spec)
+            assert np.array_equal(view, source)
+            shared.array[1, 2] = -99.0  # same mapping, both sides see it
+            assert view[1, 2] == -99.0
+        finally:
+            shared.unlink()
+
+    def test_allocate_shape_dtype(self):
+        shared = SharedArray(shape=(3, 5), dtype=np.uint8)
+        try:
+            assert shared.array.shape == (3, 5)
+            assert shared.array.dtype == np.uint8
+        finally:
+            shared.unlink()
+
+    def test_requires_source_or_shape(self):
+        with pytest.raises(ValueError):
+            SharedArray()
+
+
+class TestContext:
+    def test_serial_request_yields_none(self):
+        assert SearchWorkerContext.create(1) is None
+        assert SearchWorkerContext.create(0) is None
+        assert SearchWorkerContext.create(None) is None
+
+    def test_run_chunks_preserves_order(self, ctx):
+        payloads = [(i,) for i in range(8)]
+        out = ctx.run_chunks(_echo_task, payloads)
+        assert out == list(range(8))
+
+
+def _echo_task(i):
+    return i, {"seconds": 0.0, "worker_pid": 0}
+
+
+class TestParallelStages:
+    """Each fan-out stage bitwise against its serial counterpart."""
+
+    def test_shared_encode_matches_serial(self, space_and_ids, ctx):
+        space, ids = space_and_ids
+        X_serial = SpacePool(space, ids).design_matrix(FeatureBinarizer())
+        shared_pool = SharedPool(space, ids, ctx)
+        X_parallel = shared_pool.design_matrix(FeatureBinarizer())
+        assert np.array_equal(X_serial, X_parallel)
+        assert shared_pool.X_spec is not None
+
+    def test_shared_codes_match_serial(self, space_and_ids, ctx):
+        space, ids = space_and_ids
+        shared_pool = SharedPool(space, ids, ctx)
+        X = shared_pool.design_matrix(FeatureBinarizer())
+        serial = pool_codes(X)
+        parallel = pool_codes_shared(
+            ctx, shared_pool.X_spec, X.shape[0], X.shape[1]
+        )
+        assert serial is not None and parallel is not None
+        assert np.array_equal(serial.codes, parallel.codes)
+        assert len(serial.columns) == len(parallel.columns)
+        for a, b in zip(serial.columns, parallel.columns):
+            assert np.array_equal(a, b)
+        assert parallel.spec is not None
+
+    def test_parallel_fit_matches_serial(self, space_and_ids, ctx):
+        space, ids = space_and_ids
+        X = SpacePool(space, ids).design_matrix(FeatureBinarizer())
+        rng = spawn_rng(0, "fit-parity")
+        train = rng.choice(X.shape[0], size=80, replace=False)
+        y = rng.normal(size=train.size)
+
+        serial = ExtraTreesRegressor(n_estimators=10, seed=5)
+        serial.fit(X[train], y)
+        parallel = ExtraTreesRegressor(n_estimators=10, seed=5)
+        parallel.fit(X[train], y, worker_ctx=ctx)
+
+        for ts, tp in zip(serial._trees, parallel._trees):
+            for a, b in zip(tree_state(ts), tree_state(tp)):
+                assert np.array_equal(a, b)
+        assert np.array_equal(serial.predict(X), parallel.predict(X))
+
+        # Refit counters advanced identically: the *second* fit must agree
+        # too (tree rng substreams key on fit_count).
+        serial.fit(X[train], y)
+        parallel.fit(X[train], y, worker_ctx=ctx)
+        assert np.array_equal(serial.predict(X), parallel.predict(X))
+
+    def test_shared_predict_matches_serial(self, space_and_ids, ctx):
+        space, ids = space_and_ids
+        shared_pool = SharedPool(space, ids, ctx)
+        X = shared_pool.design_matrix(FeatureBinarizer())
+        codes = pool_codes_shared(
+            ctx, shared_pool.X_spec, X.shape[0], X.shape[1]
+        )
+        rng = spawn_rng(1, "predict-parity")
+        train = rng.choice(X.shape[0], size=70, replace=False)
+        y = rng.normal(size=train.size)
+        forest = ExtraTreesRegressor(n_estimators=12, seed=3).fit(X[train], y)
+        router = forest.make_router(codes)
+        sub = np.sort(rng.choice(X.shape[0], size=150, replace=False))
+
+        assert np.array_equal(
+            shared_router_predict(ctx, router, sub, mode="mean"),
+            router.predict(sub),
+        )
+        mean, std = shared_router_predict(ctx, router, sub, mode="mean_std")
+        assert np.array_equal(mean, router.predict(sub))
+        assert np.array_equal(std, router.predict_std(sub))
+
+
+class TestPredictMeanStd:
+    """The fused single-descent moments equal the two-pass answers."""
+
+    def test_forest_fused_moments(self):
+        rng = spawn_rng(2, "fused")
+        X = rng.normal(size=(120, 8))
+        y = rng.normal(size=60)
+        forest = ExtraTreesRegressor(n_estimators=9, seed=1).fit(X[:60], y)
+        mean, std = forest.predict_mean_std(X)
+        assert np.array_equal(mean, forest.predict(X))
+        assert np.array_equal(std, forest.predict_std(X))
+
+    def test_router_fused_moments(self, space_and_ids):
+        space, ids = space_and_ids
+        X = SpacePool(space, ids).design_matrix(FeatureBinarizer())
+        codes = pool_codes(X)
+        rng = spawn_rng(3, "fused-router")
+        train = rng.choice(X.shape[0], size=60, replace=False)
+        y = rng.normal(size=train.size)
+        forest = ExtraTreesRegressor(n_estimators=8, seed=2).fit(X[train], y)
+        router = forest.make_router(codes)
+        sub = rng.choice(X.shape[0], size=100, replace=False)
+        mean, std = router.predict_mean_std(sub)
+        assert np.array_equal(mean, router.predict(sub))
+        assert np.array_equal(std, router.predict_std(sub))
+
+
+class TestTreeState:
+    def test_roundtrip_predicts_bitwise(self):
+        rng = spawn_rng(4, "tree-state")
+        X = rng.normal(size=(80, 6))
+        y = rng.normal(size=80)
+        from repro.surf.tree import ExtraTreeRegressor
+
+        tree = ExtraTreeRegressor(rng=spawn_rng(5, "t")).fit(X, y)
+        clone = from_tree_state(tree_state(tree))
+        assert np.array_equal(tree.predict(X), clone.predict(X))
+
+    def test_unfit_tree_refuses(self):
+        from repro.errors import SearchError
+        from repro.surf.tree import ExtraTreeRegressor
+
+        with pytest.raises(SearchError):
+            tree_state(ExtraTreeRegressor())
