@@ -1,0 +1,171 @@
+"""Elastic-search bench: wall clock vs serial, under worker churn.
+
+Not a paper table — this guards the elastic coordinator/worker engine
+(:mod:`repro.surf.elastic`): an identical tuning run is executed serially
+and then on elastic pools of 1, 2, and 4 local workers, each elastic run
+deliberately churned — one extra chaos worker hard-kills itself
+(``os._exit``) while *holding* a claim, and one replacement worker joins
+late, mid-run.  The champion/history digest of every elastic run must
+equal the serial digest **exactly** (the tentpole bitwise-identity
+claim); wall-clock overhead vs serial is recorded, and optionally gated
+with ``--max-overhead``.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_elastic.py --json output.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import threading
+import time
+
+from repro.autotune import Autotuner
+from repro.gpusim.arch import K20
+from repro.obs.tracer import Tracer, use_tracer
+from repro.surf.elastic import spawn_workers
+from repro.util.rng import stable_hash
+from repro.workloads import get_workload
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+SETTINGS = dict(batch_size=5, pool_size=200, seed=3)
+LEASE_TTL = 1.0
+
+
+def _digest(result) -> str:
+    return format(
+        stable_hash(
+            "elastic-bench",
+            repr(result.search.best_objective),
+            [(c.global_id, repr(y)) for c, y in result.search.history],
+            repr(result.search.simulated_wall_seconds),
+        ),
+        "016x",
+    )
+
+
+def _tune(evals: int, **kw):
+    tuner = Autotuner(K20, max_evaluations=evals, **SETTINGS, **kw)
+    start = time.perf_counter()
+    result = get_workload("lg3").tune(tuner)
+    return result, time.perf_counter() - start
+
+
+def _churned_run(evals: int, workers: int) -> dict:
+    """One elastic run with a chaos kill and a late join; returns a record."""
+    spool = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-spool-"))
+    # The chaos worker dies (hard) while holding its second claim,
+    # leaving it for deadline reclaim.
+    chaos = spawn_workers(
+        spool, 1, lease_ttl=LEASE_TTL, poll_interval=0.01,
+        name_prefix="chaos", die_after_claims=2,
+    )
+    late: list = []
+    joiner = threading.Timer(
+        0.3,
+        lambda: late.extend(
+            spawn_workers(
+                spool, 1, lease_ttl=LEASE_TTL, poll_interval=0.01,
+                name_prefix="late", idle_exit=60.0,
+            )
+        ),
+    )
+    joiner.start()
+    tracer = Tracer()
+    try:
+        with use_tracer(tracer):
+            result, seconds = _tune(
+                evals, elastic=workers, spool=spool, lease_ttl=LEASE_TTL
+            )
+    finally:
+        joiner.cancel()
+        for proc in chaos + late:
+            proc.join(timeout=30)
+            if proc.is_alive():
+                proc.terminate()
+    events = [s.name for s in tracer.finished()]
+    return {
+        "workers": workers,
+        "seconds": seconds,
+        "digest": _digest(result),
+        "leases": events.count("elastic.lease"),
+        "worker_results": events.count("elastic.claim"),
+        "reclaims": events.count("elastic.reclaim"),
+        "chaos_worker_died": chaos[0].exitcode not in (0, None),
+        "late_worker_joined": bool(late),
+    }
+
+
+def run(evals: int, worker_counts: list[int], max_overhead: float | None) -> dict:
+    reference, serial_seconds = _tune(evals)
+    serial_digest = _digest(reference)
+    runs = []
+    for workers in worker_counts:
+        record = _churned_run(evals, workers)
+        record["exact_match"] = record["digest"] == serial_digest
+        record["overhead"] = record["seconds"] / serial_seconds
+        runs.append(record)
+        print(
+            f"workers={workers}: {record['seconds']:.2f}s "
+            f"({record['overhead']:.2f}x serial), "
+            f"{record['worker_results']} leases on workers, "
+            f"{record['reclaims']} reclaim(s), "
+            f"match={record['exact_match']}"
+        )
+    passed = all(r["exact_match"] for r in runs)
+    if max_overhead is not None:
+        passed = passed and all(r["overhead"] <= max_overhead for r in runs)
+    return {
+        "suite": "elastic",
+        "evals": evals,
+        "settings": SETTINGS,
+        "lease_ttl": LEASE_TTL,
+        "serial_seconds": serial_seconds,
+        "serial_digest": serial_digest,
+        "max_overhead": max_overhead,
+        "runs": runs,
+        "passed": passed,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--evals", type=int, default=40)
+    parser.add_argument(
+        "--workers", default="1,2,4",
+        help="comma-separated elastic worker counts to bench",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=None, metavar="X",
+        help="fail when any elastic run exceeds X times the serial wall",
+    )
+    parser.add_argument(
+        "--json", default=str(OUTPUT_DIR / "BENCH_pr9.json"),
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+    record = run(args.evals, worker_counts, args.max_overhead)
+    out = pathlib.Path(args.json)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(record, indent=1) + "\n", encoding="utf-8")
+    print(f"record written to {out}")
+    if not record["passed"]:
+        print("FAILED: elastic run diverged from serial (or overhead gate)")
+        return 1
+    print(
+        f"PASSED: {len(worker_counts)} churned elastic run(s) "
+        f"bitwise-identical to serial"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from repro.obs.manifest import MANIFEST_FILENAME, RunManifest, fingerprint_of
 from repro.obs.tracer import Tracer, get_tracer, use_tracer
 from repro.surf.cache import CachedEvaluator, EvaluationCache, QuarantineStore
 from repro.surf.checkpoint import CheckpointManager, SearchCheckpointer
+from repro.surf.elastic import ElasticBatchEvaluator
 from repro.surf.evaluator import BatchEvaluator, ConfigurationEvaluator
 from repro.surf.exhaustive import ExhaustiveSearch
 from repro.surf.faults import FaultInjectingEvaluator, FaultSpec
@@ -164,6 +165,26 @@ class Autotuner:
         (``parallel_executor="process"`` for processes).  Results are
         bitwise-identical to serial runs; ``None`` consults
         ``REPRO_EVAL_WORKERS``.
+    elastic:
+        Evaluate batches on an **elastic coordinator/worker pool** (see
+        :mod:`repro.surf.elastic`): spawn this many local worker
+        processes on a filesystem lease spool that external workers
+        (``repro elastic-workers --spool DIR``) may join — late, briefly,
+        or after being hard-killed — while the champion, history, rng
+        stream, and checkpoints stay bitwise-identical to a serial run.
+        ``0`` with a ``spool`` still enables elastic mode (external
+        workers only; the coordinator evaluates inline as a last
+        resort).  ``None`` consults ``REPRO_ELASTIC``.  Like
+        ``search_workers``, the knob is store-key-, fingerprint-, and
+        checkpoint-neutral.
+    spool:
+        The elastic lease-spool directory.  ``None`` consults
+        ``REPRO_SPOOL``; when elastic workers are requested without a
+        spool, a fresh temporary directory (or ``checkpoint_dir/spool``)
+        is used.
+    lease_ttl:
+        Elastic claim lifetime, seconds: a worker that holds a lease
+        past this deadline is presumed dead and its lease reclaimed.
     search_workers:
         Fan the *search core's* hot loops — per-refit forest fits, the
         full-pool predict pass, the odometer encode — out over this many
@@ -262,6 +283,9 @@ class Autotuner:
         batch_parallelism: int = 1,
         cache: bool | str | Path | None = None,
         workers: int | None = None,
+        elastic: int | None = None,
+        spool: str | Path | None = None,
+        lease_ttl: float = 30.0,
         search_workers: int | None = None,
         acquisition: str = "mean",
         telemetry: bool = True,
@@ -302,6 +326,13 @@ class Autotuner:
         if workers is None:
             workers = int(os.environ.get("REPRO_EVAL_WORKERS", "1") or 1)
         self.workers = max(1, workers)
+        if elastic is None:
+            elastic = int(os.environ.get("REPRO_ELASTIC", "0") or 0)
+        self.elastic = max(0, elastic)
+        if spool is None:
+            spool = os.environ.get("REPRO_SPOOL") or None
+        self.spool = Path(spool) if spool else None
+        self.lease_ttl = float(lease_ttl)
         self.search_workers = resolve_search_workers(search_workers)
         self.acquisition = acquisition
         self.telemetry = telemetry
@@ -403,11 +434,38 @@ class Autotuner:
                 max_retries=self.max_retries,
                 quarantine=self._quarantine(),
             )
-        if self.workers > 1:
+        if self.elastic_enabled:
+            # The elastic pool replaces the in-process fan-out at the same
+            # stack position; `workers` parallelism would be redundant
+            # underneath it (lease scheduling already spreads the batch).
+            evaluator = ElasticBatchEvaluator(
+                evaluator,
+                spool=self._spool_dir(),
+                workers=self.elastic,
+                lease_ttl=self.lease_ttl,
+            )
+        elif self.workers > 1:
             evaluator = ParallelBatchEvaluator(
                 evaluator, workers=self.workers, executor=self.parallel_executor
             )
         return evaluator
+
+    @property
+    def elastic_enabled(self) -> bool:
+        """True when evaluation runs on the coordinator/worker pool."""
+        return self.elastic > 0 or self.spool is not None
+
+    def _spool_dir(self) -> Path:
+        """The run's lease-spool directory (created by the coordinator)."""
+        if self.spool is not None:
+            return self.spool
+        if self.checkpoint_dir is not None:
+            self.spool = self.checkpoint_dir / "spool"
+        else:
+            import tempfile
+
+            self.spool = Path(tempfile.mkdtemp(prefix="repro-spool-"))
+        return self.spool
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -468,6 +526,11 @@ class Autotuner:
         # conditional key keeps store digests of existing runs stable.
         if self.acquisition != "mean":
             settings["acquisition"] = self.acquisition
+        # Elastic evaluation is bitwise-identical to serial, so the knob is
+        # provenance only: recorded when on (and store-key-neutral either
+        # way), absent otherwise so serial manifests keep their bytes.
+        if self.elastic_enabled:
+            settings["elastic"] = self.elastic
         return RunManifest(
             name=name,
             package_version=__version__,
@@ -704,17 +767,24 @@ class Autotuner:
             checkpointer = self._checkpointer(
                 checkpoint_dir, name, pool, tuning_space.size(), evaluator
             )
-            with tracer.span(
-                "search.run", category="search",
-                searcher=self.searcher_kind, workload=name,
-            ):
-                result = searcher.search(
-                    pool,
-                    evaluator.evaluate_batch,
-                    wall_seconds=lambda: evaluator.simulated_wall_seconds,
-                    telemetry=SearchTelemetry(counters=evaluator.counters),
-                    checkpointer=checkpointer,
-                )
+            try:
+                with tracer.span(
+                    "search.run", category="search",
+                    searcher=self.searcher_kind, workload=name,
+                ):
+                    result = searcher.search(
+                        pool,
+                        evaluator.evaluate_batch,
+                        wall_seconds=lambda: evaluator.simulated_wall_seconds,
+                        telemetry=SearchTelemetry(counters=evaluator.counters),
+                        checkpointer=checkpointer,
+                    )
+            finally:
+                # The elastic evaluator owns worker processes and a spool
+                # shutdown marker; release them even when the search dies.
+                close = getattr(evaluator, "close", None)
+                if close is not None:
+                    close()
         if not self.telemetry:
             result.telemetry = None
         best = result.best_config

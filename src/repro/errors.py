@@ -120,6 +120,17 @@ class StoreError(ReproError):
     """
 
 
+class SpoolError(ReproError):
+    """An elastic lease spool is missing, alien, or reported a failure.
+
+    Raised when a directory handed to the coordinator/worker protocol is
+    not a spool (wrong kind/format), has no evaluator snapshot, or when a
+    worker reported that evaluating a lease raised — the serial run would
+    have crashed on the same exception, so the coordinator re-raises
+    instead of silently dropping the batch.
+    """
+
+
 class ServiceError(ReproError):
     """Bad request to, or invalid use of, the tuning service."""
 

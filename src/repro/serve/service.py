@@ -6,6 +6,10 @@ Clients :meth:`~TuningService.submit` :class:`TuneRequest`\\ s and get
 job ids back immediately; each job moves through
 ``queued -> running -> done|failed`` and carries the
 :class:`~repro.autotune.tuner.TuneResult` (or the error) when finished.
+A still-queued job can be :meth:`~TuningService.cancel`\\ ed, and a
+per-job deadline cancels work that waited in the queue too long to still
+be wanted — both land in the terminal ``cancelled`` state without ever
+occupying a worker.
 
 Two platform behaviors make this serve heavy traffic cheaply:
 
@@ -26,6 +30,7 @@ service run shows exactly which traffic was served from memory.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -46,6 +51,10 @@ class JobState:
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    #: Terminal state of a queued job that was cancelled (explicitly, or
+    #: by its deadline expiring before a worker picked it up).  Running
+    #: jobs are never interrupted: cancellation is a queue operation.
+    CANCELLED = "cancelled"
 
 
 @dataclass(frozen=True)
@@ -87,11 +96,14 @@ class Job:
     store_hit: bool = False
     #: model evaluations this request actually cost (0 on a store hit)
     evaluation_count: int | None = None
+    #: ``time.monotonic()`` instant after which a still-queued job is
+    #: cancelled instead of run (None = no deadline)
+    deadline_at: float | None = None
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
 
     @property
     def finished(self) -> bool:
-        return self.state in (JobState.DONE, JobState.FAILED)
+        return self.state in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
 
     def describe(self) -> str:
         tail = ""
@@ -103,6 +115,8 @@ class Job:
             )
         elif self.state == JobState.FAILED:
             tail = f" error: {self.error}"
+        elif self.state == JobState.CANCELLED and self.error:
+            tail = f" ({self.error})"
         return (
             f"{self.id} {self.request.source}@{self.request.arch}: "
             f"{self.state}{tail}"
@@ -124,6 +138,12 @@ class TuningService:
         custom calibrations).  The default builds
         ``Autotuner(gpu_by_name(request.arch), result_store=store,
         **request.settings)``.
+    elastic:
+        Run every job's evaluation on an elastic worker pool of this many
+        processes (see :mod:`repro.surf.elastic`): the default tuner
+        factory passes ``elastic=N`` through, and each job gets its own
+        spool.  Elastic evaluation is bitwise-identical to serial, so
+        this is purely an operational knob (store keys are unaffected).
     """
 
     def __init__(
@@ -131,8 +151,10 @@ class TuningService:
         store: ResultStore | str,
         workers: int = 2,
         tuner_factory=None,
+        elastic: int = 0,
     ) -> None:
         self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        self._elastic = max(0, int(elastic))
         self._tuner_factory = tuner_factory or self._default_tuner
         self._executor = ThreadPoolExecutor(
             max_workers=max(1, workers), thread_name_prefix="tune-worker"
@@ -161,17 +183,23 @@ class TuningService:
     def _default_tuner(self, request: TuneRequest):
         from repro.autotune.tuner import Autotuner
 
+        extra = {"elastic": self._elastic} if self._elastic else {}
         return Autotuner(
             gpu_by_name(request.arch),
             result_store=self.store,
+            **extra,
             **request.settings,
         )
 
-    def submit(self, request: TuneRequest) -> str:
+    def submit(self, request: TuneRequest, deadline: float | None = None) -> str:
         """Queue a request; returns its job id immediately.
 
         An identical request already queued or running returns the
         existing job's id (deduplication) rather than doubling the work.
+        ``deadline`` (seconds from now) bounds the *queue* wait: a job
+        still queued when it expires is cancelled instead of run, so a
+        backlogged service never burns workers on answers nobody is
+        waiting for anymore.
         """
         fingerprint = request.fingerprint()
         with self._lock:
@@ -184,17 +212,57 @@ class TuningService:
                     job=existing, fingerprint=fingerprint,
                 )
                 return existing
-            job = Job(id=f"job-{self._next_id}", request=request)
+            job = Job(
+                id=f"job-{self._next_id}",
+                request=request,
+                deadline_at=(
+                    time.monotonic() + deadline if deadline is not None else None
+                ),
+            )
             self._next_id += 1
             self._jobs[job.id] = job
             self._inflight[fingerprint] = job.id
         self._executor.submit(self._run, job, fingerprint)
         return job.id
 
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job; True when the cancellation took.
+
+        Running and finished jobs return False — cancellation is a queue
+        operation, never an interruption (a half-run search would be
+        wasted work *and* an inconsistent store).  A cancelled job is
+        terminal: waiters wake immediately and an identical request
+        submitted afterwards queues fresh work.
+        """
+        job = self.job(job_id)
+        with self._lock:
+            if job.state != JobState.QUEUED:
+                return False
+            job.state = JobState.CANCELLED
+            job.error = "cancelled by client"
+            fingerprint = job.request.fingerprint()
+            if self._inflight.get(fingerprint) == job.id:
+                del self._inflight[fingerprint]
+        job.done_event.set()
+        get_tracer().event("serve.cancel", category="serve", job=job.id)
+        return True
+
     # -- execution ------------------------------------------------------
     def _run(self, job: Job, fingerprint: str) -> None:
         tracer = get_tracer()
         with self._lock:
+            if job.state != JobState.QUEUED:
+                # Cancelled while waiting for a worker; cancel() already
+                # cleaned up and woke the waiters.
+                return
+            if job.deadline_at is not None and time.monotonic() > job.deadline_at:
+                job.state = JobState.CANCELLED
+                job.error = "deadline expired while queued"
+                if self._inflight.get(fingerprint) == job.id:
+                    del self._inflight[fingerprint]
+                job.done_event.set()
+                tracer.event("serve.deadline", category="serve", job=job.id)
+                return
             job.state = JobState.RUNNING
         try:
             with tracer.span(
@@ -256,5 +324,17 @@ class TuningService:
         return job
 
     def wait_all(self, timeout: float | None = None) -> list[Job]:
-        """Wait for every submitted job; returns them in order."""
-        return [self.wait(job.id, timeout) for job in self.jobs()]
+        """Wait for every submitted job; returns them in order.
+
+        ``timeout`` is one shared deadline for the whole set, not a
+        per-job allowance: N sequential waits share the same clock, so
+        the call returns (or raises) within ``timeout`` seconds total.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        finished = []
+        for job in self.jobs():
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            finished.append(self.wait(job.id, remaining))
+        return finished

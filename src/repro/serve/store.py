@@ -74,9 +74,19 @@ STORE_KIND = "repro-result-store"
 
 #: Autotuner settings that cannot change the tuned result (each is
 #: documented bitwise-identical or same-answer) and therefore must not
-#: fragment the content address.
+#: fragment the content address.  The elastic knobs (worker count, spool
+#: location, lease TTL) are pure scheduling: the coordinator merges by
+#: (batch, lease ordinal), so any pool shape replays the serial bytes.
 RESULT_NEUTRAL_SETTINGS = frozenset(
-    {"workers", "search_workers", "fast_model", "sweep_full"}
+    {
+        "workers",
+        "search_workers",
+        "fast_model",
+        "sweep_full",
+        "elastic",
+        "spool",
+        "lease_ttl",
+    }
 )
 
 

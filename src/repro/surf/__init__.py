@@ -25,6 +25,8 @@ from repro.surf.telemetry import BatchRecord, SearchTelemetry
 from repro.surf.faults import FaultInjectingEvaluator, FaultSpec
 from repro.surf.resilience import ResilientEvaluator
 from repro.surf.checkpoint import CheckpointManager, SearchCheckpointer
+from repro.surf.lease import Lease, LeaseSpool
+from repro.surf.elastic import ElasticBatchEvaluator, spawn_workers, worker_main
 
 __all__ = [
     "FeatureBinarizer",
@@ -56,4 +58,9 @@ __all__ = [
     "ResilientEvaluator",
     "CheckpointManager",
     "SearchCheckpointer",
+    "Lease",
+    "LeaseSpool",
+    "ElasticBatchEvaluator",
+    "spawn_workers",
+    "worker_main",
 ]

@@ -116,10 +116,12 @@ class ParallelBatchEvaluator(BatchEvaluator):
                         results[i] = future.result()
                     except BrokenExecutor:
                         # A worker died; the pool is unusable and every
-                        # still-pending future fails the same way.  Collect
-                        # what completed and fall through to a rebuild.
+                        # still-pending future fails the same way (the
+                        # executor resolves them all, so draining cannot
+                        # block).  Keep harvesting: futures that finished
+                        # before the break carry real results, and only
+                        # genuinely unfinished work should be re-dispatched.
                         broken = True
-                        break
                 if not broken:
                     break
             pending = [i for i in pending if i not in results]

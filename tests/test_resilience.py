@@ -309,6 +309,92 @@ class TestFaultySearch:
         assert totals["quarantined"] > 0
 
 
+class _SuicidalInWorker:
+    """Picklable double: every dispatch inside a pool worker hard-exits,
+    so no replacement pool can ever make progress."""
+
+    def evaluate_one(self, config):
+        import multiprocessing
+        import os
+
+        if multiprocessing.parent_process() is not None:
+            os._exit(1)
+        raise AssertionError("dispatched on the driver")
+
+    def record_outcome(self, outcome):
+        pass
+
+
+class _DieOnMarkedConfig:
+    """Picklable double: tallies every dispatch (one byte appended per
+    call) and hard-kills the worker on its first sight of one designated
+    configuration — slowly, so the rest of the batch finishes first."""
+
+    def __init__(self, inner, counter_file, marker_file, poison_id):
+        self.inner = inner
+        self.counter_file = counter_file
+        self.marker_file = marker_file
+        self.poison_id = poison_id
+
+    def evaluate_one(self, config):
+        import os
+        import time
+
+        with open(self.counter_file, "ab") as handle:
+            handle.write(b"x")
+        if config.global_id == self.poison_id:
+            try:  # O_EXCL: exactly one dispatch wins the right to die
+                os.close(
+                    os.open(
+                        self.marker_file, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                    )
+                )
+            except FileExistsError:
+                pass
+            else:
+                time.sleep(0.75)
+                os._exit(1)
+        return self.inner.evaluate_one(config)
+
+    def record_outcome(self, outcome):
+        self.inner.record_outcome(outcome)
+
+
+class TestPoolRebuildRecovery:
+    def test_exhausted_rebuild_budget_raises_with_pending_count(self, setup):
+        _program, _model, pool = setup
+        par = ParallelBatchEvaluator(
+            _SuicidalInWorker(), workers=2, executor="process",
+            max_pool_rebuilds=1,
+        )
+        with pytest.raises(
+            EvaluationFailure, match=r"broke 2 times .*4 configurations still"
+        ):
+            par.evaluate_batch(pool[:4])
+        assert par.pool_rebuilds == 2
+
+    def test_completed_futures_survive_a_broken_pool(self, setup, tmp_path):
+        program, model, pool = setup
+        counter = tmp_path / "dispatches"
+        plain = ConfigurationEvaluator([program], model, seed=0)
+        par = ParallelBatchEvaluator(
+            _DieOnMarkedConfig(
+                ConfigurationEvaluator([program], model, seed=0),
+                str(counter), str(tmp_path / "died"), pool[0].global_id,
+            ),
+            workers=2, executor="process", max_pool_rebuilds=2,
+        )
+        batch = pool[:6]
+        outcomes = par.evaluate_batch(batch)
+        assert outcomes == plain.evaluate_batch(batch)
+        assert par.pool_rebuilds == 1
+        # While the poisoned dispatch slept toward its death, the other
+        # worker finished the rest of the batch; those futures completed
+        # before the pool broke and must be harvested, not re-dispatched.
+        # Total dispatches = batch + the one re-run of the poisoned config.
+        assert counter.stat().st_size == len(batch) + 1
+
+
 class TestWorkerDeathRecovery:
     def test_process_pool_rebuilds_and_matches_serial(self, setup):
         program, model, pool = setup

@@ -397,6 +397,99 @@ class TestTuningService:
 
 
 # ----------------------------------------------------------------------
+class TestCancellationAndDeadlines:
+    SETTINGS = dict(max_evaluations=10, pool_size=100, seed=0, batch_size=5)
+
+    def _blocking_factory(self, release):
+        """Every job parks on ``release``, keeping the single worker busy."""
+
+        class Blocked:
+            def tune_program(self, program):
+                release.wait(30)
+                raise RuntimeError("released")
+
+            tune_contraction = tune_program
+
+        return lambda request: Blocked()
+
+    def test_cancel_queued_job(self, tmp_path):
+        import threading
+
+        release = threading.Event()
+        with TuningService(
+            tmp_path / "rs", workers=1,
+            tuner_factory=self._blocking_factory(release),
+        ) as service:
+            running = service.submit(TuneRequest("lg3", settings=self.SETTINGS))
+            queued = service.submit(
+                TuneRequest("lg3", settings=dict(self.SETTINGS, seed=7))
+            )
+            assert service.cancel(queued)
+            job = service.wait(queued, timeout=1.0)  # wakes immediately
+            assert job.state == JobState.CANCELLED
+            assert "cancelled by client" in job.describe()
+            # Cancellation is terminal and idempotent-ish: a second cancel
+            # (and cancelling the running job) both report False.
+            assert not service.cancel(queued)
+            assert not service.cancel(running)
+            with pytest.raises(ServiceError, match="unknown job id"):
+                service.cancel("job-999")
+            # The cancelled fingerprint left the in-flight table: the same
+            # request queues fresh work instead of returning the dead id.
+            resubmitted = service.submit(
+                TuneRequest("lg3", settings=dict(self.SETTINGS, seed=7))
+            )
+            assert resubmitted != queued
+            release.set()
+
+    def test_deadline_expires_while_queued(self, tmp_path):
+        import threading
+        import time
+
+        release = threading.Event()
+        with TuningService(
+            tmp_path / "rs", workers=1,
+            tuner_factory=self._blocking_factory(release),
+        ) as service:
+            service.submit(TuneRequest("lg3", settings=self.SETTINGS))
+            doomed = service.submit(
+                TuneRequest("lg3", settings=dict(self.SETTINGS, seed=7)),
+                deadline=0.05,
+            )
+            time.sleep(0.1)  # let the deadline lapse while still queued
+            release.set()
+            job = service.wait(doomed, timeout=30)
+            assert job.state == JobState.CANCELLED
+            assert "deadline expired while queued" in job.error
+
+    def test_wait_all_timeout_is_one_shared_deadline(self, tmp_path):
+        import time
+
+        class Sleepy:
+            def tune_program(self, program):
+                time.sleep(0.4)
+                raise RuntimeError("done sleeping")
+
+            tune_contraction = tune_program
+
+        with TuningService(
+            tmp_path / "rs", workers=1, tuner_factory=lambda request: Sleepy()
+        ) as service:
+            service.submit(TuneRequest("lg3", settings=self.SETTINGS))
+            service.submit(
+                TuneRequest("lg3", settings=dict(self.SETTINGS, seed=7))
+            )
+            # Jobs finish at ~0.4s and ~0.8s.  A shared 0.6s deadline must
+            # raise at ~0.6s; the old per-job allowance (0.6s *each*) would
+            # have happily waited 0.8s and returned both.
+            start = time.monotonic()
+            with pytest.raises(ServiceError, match="timed out"):
+                service.wait_all(timeout=0.6)
+            assert time.monotonic() - start < 0.75
+            assert service.wait_all(timeout=30) is not None
+
+
+# ----------------------------------------------------------------------
 class TestCLI:
     def test_submit_hit_round_trip(self, tmp_path, capsys):
         from repro.cli import main
@@ -423,6 +516,21 @@ class TestCLI:
         out = capsys.readouterr().out
         assert rc == 0
         assert "served 2 request(s)" in out
+
+    def test_serve_deadline_cancels_backlog(self, tmp_path, capsys):
+        from repro.cli import main
+
+        # One worker, two distinct requests: the second waits in the queue
+        # far longer than its 50ms deadline allows and is cancelled.
+        rc = main([
+            "serve", "lg3@k20", "lg3@gtx980", "--store", str(tmp_path / "rs"),
+            "--workers", "1", "--deadline", "0.05",
+            "--evals", "10", "--batch", "5", "--pool", "100", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 cancelled" in out
+        assert "deadline expired while queued" in out
 
     def test_tune_store_flag(self, tmp_path, capsys):
         from repro.cli import main

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Summarize an elastic-search lease spool directory.
+
+Usage::
+
+    python tools/spool_inspect.py SPOOL_DIR [--ttl S] [--json]
+
+Prints the spool's generation and coordinator, outstanding leases,
+claims (live vs. expired against each claim's own deadline), buffered
+results, and worker heartbeats (live vs. stale against ``--ttl``).
+Exits 1 when the directory is not an elastic spool (alien kind or
+format) or no coordinator ever initialized it, so CI can gate on
+spool health.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import SpoolError  # noqa: E402
+from repro.surf.lease import LeaseSpool  # noqa: E402
+
+
+def summarize(spool: LeaseSpool, ttl: float) -> dict:
+    meta = spool.meta()
+    if meta is None:
+        raise SpoolError(f"{spool.root} has no meta.json (no coordinator ran)")
+    now = time.time()
+
+    def stems(directory: Path) -> list[str]:
+        try:
+            return sorted(p.stem for p in directory.iterdir() if p.suffix == ".json")
+        except OSError:
+            return []
+
+    leases = stems(spool.leases_dir)
+    results = stems(spool.results_dir)
+    claims = {"live": [], "expired": []}
+    for lease_id in stems(spool.claims_dir):
+        info = spool.claim_info(lease_id) or {}
+        bucket = "live" if info.get("deadline", 0.0) >= now else "expired"
+        claims[bucket].append(
+            {"lease": lease_id, "worker": info.get("worker"), "pid": info.get("pid")}
+        )
+    live = {w.get("worker") for w in spool.live_workers(ttl)}
+    workers = [
+        {
+            "worker": w.get("worker"),
+            "pid": w.get("pid"),
+            "leases_done": w.get("leases_done", 0),
+            "live": w.get("worker") in live,
+            "age_seconds": round(now - w.get("beat_at", 0.0), 3),
+        }
+        for w in spool.workers()
+    ]
+    return {
+        "root": str(spool.root),
+        "generation": meta.get("generation"),
+        "coordinator_pid": meta.get("coordinator_pid"),
+        "evaluator_digest": meta.get("evaluator_digest"),
+        "shutdown_requested": spool.shutdown_requested(),
+        "leases_outstanding": leases,
+        "results_buffered": results,
+        "claims": claims,
+        "workers": workers,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("spool", help="spool directory")
+    parser.add_argument(
+        "--ttl", type=float, default=30.0,
+        help="heartbeat liveness horizon, seconds (default 30)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    args = parser.parse_args(argv)
+
+    root = Path(args.spool)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 1
+    try:
+        stats = summarize(LeaseSpool(root), args.ttl)
+    except SpoolError as exc:
+        print(f"invalid spool: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(json.dumps(stats, indent=1, sort_keys=True))
+        return 0
+
+    print(f"elastic spool {root}")
+    print(
+        f"  generation {stats['generation']} "
+        f"(coordinator pid {stats['coordinator_pid']}, "
+        f"evaluator {stats['evaluator_digest']})"
+    )
+    if stats["shutdown_requested"]:
+        print("  shutdown requested")
+    print(
+        f"  leases outstanding: {len(stats['leases_outstanding'])}  "
+        f"results buffered: {len(stats['results_buffered'])}"
+    )
+    print(
+        f"  claims: {len(stats['claims']['live'])} live, "
+        f"{len(stats['claims']['expired'])} expired"
+    )
+    for claim in stats["claims"]["expired"]:
+        print(
+            f"    expired: {claim['lease']} held by "
+            f"{claim['worker']} (pid {claim['pid']})"
+        )
+    live = sum(1 for w in stats["workers"] if w["live"])
+    print(f"  workers: {live} live of {len(stats['workers'])} seen")
+    for worker in stats["workers"]:
+        state = "live" if worker["live"] else "stale"
+        print(
+            f"    {worker['worker']} (pid {worker['pid']}): {state}, "
+            f"{worker['leases_done']} lease(s) done, "
+            f"last beat {worker['age_seconds']}s ago"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
