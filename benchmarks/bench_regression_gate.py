@@ -53,9 +53,11 @@ import sys
 try:
     from benchmarks.bench_search_throughput import run_bench as run_search_bench
     from benchmarks.bench_timing_table import run_bench as run_table_bench
+    from benchmarks.bench_ttgt_crossover import run_bench as run_ttgt_bench
 except ImportError:  # run as a script from benchmarks/
     from bench_search_throughput import run_bench as run_search_bench
     from bench_timing_table import run_bench as run_table_bench
+    from bench_ttgt_crossover import run_bench as run_ttgt_bench
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
@@ -81,6 +83,12 @@ SUITES = {
         "output": OUTPUT_DIR / "BENCH_pr8.json",
         "default_configs": 100000,
         "label": "search core (multi-core end-to-end)",
+    },
+    "ttgt": {
+        "baseline": REPO_ROOT / "BENCH_pr10.json",
+        "output": OUTPUT_DIR / "BENCH_pr10.json",
+        "default_configs": 2000,
+        "label": "TTGT table fast path",
     },
 }
 
@@ -228,6 +236,13 @@ def main(argv: list[str] | None = None) -> int:
 
         result = _best_of(measure, args.repeats)
         baseline_speedup = float(baseline_rec["parallel_speedup"])
+    elif args.suite == "ttgt":
+        # Same flat-record shape as timing_table; run_bench asserts the
+        # bitwise table/scalar agreement in the exact_match field.
+        result = _best_of(
+            lambda: run_ttgt_bench(configs, seed=args.seed), args.repeats
+        )
+        baseline_speedup = None  # read below unless --update
     else:
         result = _best_of(
             lambda: run_table_bench(configs, seed=args.seed), args.repeats

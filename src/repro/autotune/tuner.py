@@ -23,7 +23,7 @@ from pathlib import Path
 
 from repro.core.contraction import Contraction
 from repro.core.pipeline import compile_contraction
-from repro.errors import SearchError
+from repro.errors import ConfigurationError, SearchError
 from repro.gpusim.arch import GPUArch
 from repro.gpusim.calibration import DEFAULT_GPU_CAL, GPUCalibration
 from repro.gpusim.perfmodel import GPUPerformanceModel, ProgramTiming
@@ -45,7 +45,7 @@ from repro.surf.search import SearchResult, SURFSearch
 from repro.surf.separable import SeparableExhaustiveSearch
 from repro.surf.shared import resolve_search_workers
 from repro.surf.telemetry import SearchTelemetry
-from repro.tcr.decision import decide_search_space
+from repro.tcr.decision import BACKENDS, decide_search_space
 from repro.tcr.program import TCRProgram
 from repro.tcr.space import ProgramConfig, TuningSpace
 from repro.util.rng import spawn_rng, stable_hash
@@ -300,6 +300,7 @@ class Autotuner:
         trace: str | Path | None = None,
         tie_break: str = "lexsort",
         result_store=None,
+        backend: str = "loopnest",
     ) -> None:
         """``per_variant=True`` reproduces the paper's OCTOPI flow for
         multi-variant contractions: each algebraic version is autotuned
@@ -365,6 +366,11 @@ class Autotuner:
             result_store = os.environ.get("REPRO_RESULT_STORE") or None
         self.result_store_spec = result_store
         self._result_store_obj = None
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def _result_store(self):
@@ -526,6 +532,11 @@ class Autotuner:
         # conditional key keeps store digests of existing runs stable.
         if self.acquisition != "mean":
             settings["acquisition"] = self.acquisition
+        # The backend changes which spaces exist, so it is store-key
+        # RELEVANT (never in RESULT_NEUTRAL_SETTINGS); the conditional key
+        # keeps pre-TTGT loop-nest digests byte-stable.
+        if self.backend != "loopnest":
+            settings["backend"] = self.backend
         # Elastic evaluation is bitwise-identical to serial, so the knob is
         # provenance only: recorded when on (and store-key-neutral either
         # way), absent otherwise so serial manifests keep their bytes.
@@ -663,6 +674,10 @@ class Autotuner:
         # resumed under any worker count.
         if self.acquisition != "mean":
             fp["acquisition"] = self.acquisition
+        # The backend decides which kernel spaces exist at all; "loopnest"
+        # is the historical course and stays unnamed for byte-compatibility.
+        if self.backend != "loopnest":
+            fp["backend"] = self.backend
         return fp
 
     def _checkpointer(
@@ -710,7 +725,10 @@ class Autotuner:
             return self._tune_per_variant(name, programs)
         tracer = get_tracer()
         spaces = [
-            decide_search_space(p, variant_index=i) for i, p in enumerate(programs)
+            decide_search_space(
+                p, variant_index=i, backend=self.backend, model=self.model
+            )
+            for i, p in enumerate(programs)
         ]
         tuning_space = TuningSpace(spaces)
         tables = None

@@ -53,6 +53,14 @@ def build_parser() -> argparse.ArgumentParser:
         "separable per-kernel argmin over vectorized timing tables",
     )
     tune.add_argument(
+        "--backend", default="loopnest",
+        choices=("loopnest", "ttgt", "auto"),
+        help="kernel backend per operation: 'loopnest' (the paper's mapped "
+        "loop nests), 'ttgt' (transpose-transpose-GEMM-transpose through a "
+        "batched GEMM), or 'auto' (pick per operation by modeled best time; "
+        "ineligible operations fall back to loop nests)",
+    )
+    tune.add_argument(
         "--fast-model", action="store_true", default=None,
         help="score configurations by precomputed timing-table lookup "
         "(bitwise identical to the scalar model; default: $REPRO_FAST_MODEL)",
@@ -314,6 +322,7 @@ def _run_tune(args: argparse.Namespace) -> int:
         trace=args.trace,
         tie_break=args.tie_break,
         result_store=args.store,
+        backend=args.backend,
     )
     result = workload.tune(tuner)
     if result.store_hit:

@@ -21,9 +21,11 @@ Tesla K20, GTX 980).  None is available here, so this subpackage provides:
 """
 
 from repro.gpusim.arch import GPUArch, CPUArch, GTX980, K20, C2050, HASWELL, gpu_by_name
+from repro.gpusim.gemm import GemmCal, gemm_calibration
 from repro.gpusim.kernel import KernelLaunch, build_launch, build_launch_cached
 from repro.gpusim.perfmodel import GPUPerformanceModel, ProgramTiming
 from repro.gpusim.timing_table import KernelTimingTable, ProgramTimingTable
+from repro.gpusim.transpose import TransposeCal, transpose_calibration
 from repro.gpusim.executor import execute_kernel, execute_program
 from repro.gpusim.cpu import CPUPerformanceModel
 from repro.gpusim.openacc import OpenACCModel
@@ -36,6 +38,10 @@ __all__ = [
     "C2050",
     "HASWELL",
     "gpu_by_name",
+    "GemmCal",
+    "gemm_calibration",
+    "TransposeCal",
+    "transpose_calibration",
     "KernelLaunch",
     "build_launch",
     "build_launch_cached",

@@ -1,0 +1,150 @@
+"""Batched/strided double-precision GEMM roofline model.
+
+The GEMM leg of a TTGT lowering is modeled in the spirit of the existing
+:mod:`repro.gpusim.perfmodel`: an analytical compute term and an
+analytical memory term, combined with partial overlap, calibrated per GPU
+generation.  The structure follows Peise & Bientinesi's BLAS
+performance-prediction work (PAPERS.md) — predict from the kernel's
+blocking parameters and the operand shapes, not from measurement — with
+the batched/strided extensions of Shi et al. (*Tensor Contractions with
+Extended BLAS Kernels*, PAPERS.md): a batch dimension multiplies the
+flop and traffic volumes, and an operand missing the batch index is
+broadcast (its traffic is charged once, not per batch member).
+
+Compute term
+    ``2·batch·M·N·K`` flops against the device's double-precision peak,
+    derated by (a) a large-size efficiency ceiling ``peak_eff``, (b) the
+    output-tile quantization loss ``(M/⌈M/Tm⌉Tm)·(N/⌈N/Tn⌉Tn)`` — partial
+    edge tiles run at full cost for partial work — and (c) a K-ramp
+    ``K/(K + k_half)`` modeling pipeline fill and the tail of the inner
+    product loop.
+
+Memory term
+    Tiled GEMM reads each A element once per N-tile column and each B
+    element once per M-tile row; C is read and written once.  A
+    transposed-layout operand costs a read-penalty factor (worse
+    coalescing in the non-native direction).
+
+Calibration constants live in a per-generation table — **not** on
+:class:`~repro.gpusim.arch.GPUArch` or
+:class:`~repro.gpusim.calibration.GPUCalibration` — so existing
+arch/calibration fingerprints (and stored run keys) are unchanged.
+
+Bitwise-parity note: :func:`gemm_features` does the integer shape math
+(ceil-division tile counts, flop/traffic volumes) and is shared verbatim
+by the scalar model and the vectorized table's gather pass;
+:func:`gemm_times` and :func:`combine_busy` use only ``+ - * /`` and
+``np.minimum``/``np.maximum``, so calling them with numpy arrays yields
+bitwise the same values per element as the scalar calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.arch import GPUArch
+
+__all__ = [
+    "GemmCal",
+    "GEMM_CAL",
+    "gemm_calibration",
+    "gemm_features",
+    "gemm_times",
+    "combine_busy",
+]
+
+_BYTES_PER_ELEMENT = 8
+
+
+@dataclass(frozen=True)
+class GemmCal:
+    """Per-generation DGEMM kernel constants."""
+
+    #: asymptotic fraction of peak DP flops at large, tile-aligned sizes
+    peak_eff: float
+    #: output tile height (rows of C per thread block)
+    tile_m: int
+    #: output tile width
+    tile_n: int
+    #: K extent at which the inner-product ramp reaches 50% efficiency
+    k_half: float
+    #: extra read-traffic fraction per transposed-layout operand
+    trans_read_penalty: float
+
+
+#: Keyed by ``GPUArch.generation``.  Fermi DGEMM (MAGMA-era) plateaus
+#: around 60% of peak; Kepler's wider SMX reaches ~75% with larger tiles;
+#: Maxwell's scarce DP units saturate easily (high fraction of a low peak).
+GEMM_CAL: dict[str, GemmCal] = {
+    "Fermi": GemmCal(peak_eff=0.60, tile_m=32, tile_n=32, k_half=12.0, trans_read_penalty=0.25),
+    "Kepler": GemmCal(peak_eff=0.76, tile_m=64, tile_n=64, k_half=10.0, trans_read_penalty=0.15),
+    "Maxwell": GemmCal(peak_eff=0.88, tile_m=32, tile_n=32, k_half=6.0, trans_read_penalty=0.12),
+}
+
+
+def gemm_calibration(arch: GPUArch) -> GemmCal:
+    """The DGEMM constants for ``arch``'s generation."""
+    return GEMM_CAL[arch.generation]
+
+
+def gemm_features(cal: GemmCal, plan) -> tuple[int, int, int, int, int, int, int, int]:
+    """Pure-integer features of one GEMM ``plan`` (a :class:`TTGTPlan`).
+
+    Shared by the scalar model and the vectorized table's gather pass so
+    the two paths cannot drift.  Returns
+    ``(flops, m_eff, m_padded, n_eff, n_padded, k, traffic_bytes, t_ops)``.
+    """
+    m_eff, n_eff = (plan.n, plan.m) if plan.swap_ab else (plan.m, plan.n)
+    tiles_m = -(-m_eff // cal.tile_m)
+    tiles_n = -(-n_eff // cal.tile_n)
+    flops = 2 * plan.batch * plan.m * plan.n * plan.k
+    a_reads = plan.batch_a * plan.m * plan.k * tiles_n
+    b_reads = plan.batch_b * plan.k * plan.n * tiles_m
+    c_moves = 2 * plan.batch * plan.m * plan.n
+    traffic = _BYTES_PER_ELEMENT * (a_reads + b_reads + c_moves)
+    t_ops = (1 if plan.op_a == "T" else 0) + (1 if plan.op_b == "T" else 0)
+    return (
+        flops,
+        m_eff,
+        tiles_m * cal.tile_m,
+        n_eff,
+        tiles_n * cal.tile_n,
+        plan.k,
+        traffic,
+        t_ops,
+    )
+
+
+def gemm_times(
+    arch: GPUArch,
+    cal: GemmCal,
+    flops,
+    m_eff,
+    m_padded,
+    n_eff,
+    n_padded,
+    k,
+    traffic,
+    t_ops,
+):
+    """``(compute_s, memory_s)`` for the GEMM leg.
+
+    Arguments past ``cal`` are the :func:`gemm_features` outputs, as
+    Python scalars or numpy arrays interchangeably.
+    """
+    quant = (m_eff / m_padded) * (n_eff / n_padded)
+    ramp = k / (k + cal.k_half)
+    eff = cal.peak_eff * quant * ramp
+    compute_s = flops / (arch.peak_dp_gflops * 1e9 * eff)
+    penalty = 1.0 + cal.trans_read_penalty * t_ops
+    bandwidth = arch.dram_bandwidth_gbs * arch.dram_efficiency * 1e9
+    memory_s = traffic * penalty / bandwidth
+    return compute_s, memory_s
+
+
+def combine_busy(compute_s, memory_s):
+    """Partial compute/memory overlap, mirroring the loop-nest model's
+    shape: the longer phase hides 70% of the shorter one."""
+    return np.maximum(compute_s, memory_s) + 0.3 * np.minimum(compute_s, memory_s)

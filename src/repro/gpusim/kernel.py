@@ -143,6 +143,13 @@ def build_launch(
     the operation (wrong indices, reduction mapped to the grid, or a loop
     both mapped and serial).
     """
+    if not isinstance(config, KernelConfig):
+        raise ConfigurationError(
+            f"only loop-nest KernelConfigs lower to a kernel launch, got "
+            f"{type(config).__name__}; TTGT configurations are scored by "
+            "the TTGT cost model and have no loop-nest lowering (codegen "
+            "and the functional executor are loop-nest-only)"
+        )
     parallel = set(operation.parallel_indices)
     all_indices = set(operation.all_indices)
     for role, idx in (("tx", config.tx), ("ty", config.ty), ("bx", config.bx), ("by", config.by)):

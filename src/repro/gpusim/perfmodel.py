@@ -36,10 +36,13 @@ import numpy as np
 from repro.errors import ConfigurationError, SimulationError
 from repro.gpusim.arch import GPUArch
 from repro.gpusim.calibration import DEFAULT_GPU_CAL, GPUCalibration
+from repro.gpusim.gemm import combine_busy, gemm_calibration, gemm_features, gemm_times
 from repro.gpusim.kernel import AccessClass, KernelLaunch, build_launch_cached
 from repro.gpusim.transfer import program_transfer_time
-from repro.tcr.program import TCRProgram
-from repro.tcr.space import ProgramConfig
+from repro.gpusim.transpose import transpose_calibration, transpose_time
+from repro.tcr.program import TCROperation, TCRProgram
+from repro.tcr.space import ProgramConfig, TTGTConfig
+from repro.tcr.ttgt import resolve_plan_cached
 from repro.util.rng import stable_uniform
 
 __all__ = ["KernelTiming", "ProgramTiming", "GPUPerformanceModel"]
@@ -289,6 +292,54 @@ class GPUPerformanceModel:
             flops=launch.flops,
         )
 
+    def ttgt_kernel_timing(
+        self,
+        operation: TCROperation,
+        config: TTGTConfig,
+        dims,
+    ) -> KernelTiming:
+        """Model one operation lowered via TTGT (transposes + batched GEMM).
+
+        The GEMM leg uses the per-generation roofline of
+        :mod:`repro.gpusim.gemm`; each materialized permutation adds the
+        :mod:`repro.gpusim.transpose` sweep cost plus a kernel launch.
+        The same ±systematic-noise wobble as the loop-nest path applies,
+        keyed under a distinct ``"ttgt"`` prefix so the two lowerings of
+        one operation land on independent points of the landscape.
+
+        Bitwise contract: :func:`repro.gpusim.timing_table.build_ttgt_table`
+        mirrors this computation with array arguments through the *same*
+        gemm/transpose helper functions — keep the two in lockstep.
+        """
+        plan = resolve_plan_cached(operation, config, dims)
+        gcal = gemm_calibration(self.arch)
+        tcal = transpose_calibration(self.arch)
+        t_c, t_m = gemm_times(self.arch, gcal, *gemm_features(gcal, plan))
+        trans_s = 0.0
+        for spec in plan.transposes:
+            trans_s = trans_s + transpose_time(
+                self.arch, tcal, float(spec.elements),
+                float(spec.read_inner), float(spec.write_inner),
+                1.0 if spec.preserved else 0.0,
+            )
+        busy = combine_busy(t_c, t_m)
+        launch_s = plan.n_kernels * (self.arch.kernel_launch_us * 1e-6)
+        wobble = 1.0 + self.cal.systematic_noise * (
+            2.0 * stable_uniform(
+                "ttgt", self.arch.name, str(operation), config.describe()
+            ) - 1.0
+        )
+        total = (busy + trans_s) * wobble + launch_s
+        return KernelTiming(
+            compute_s=float(t_c),
+            memory_s=float(t_m + trans_s),
+            utilization=1.0,
+            occupancy=1.0,
+            launch_s=launch_s,
+            total_s=float(total),
+            flops=operation.flops(dims),
+        )
+
     def program_timing(
         self, program: TCRProgram, config: ProgramConfig
     ) -> ProgramTiming:
@@ -300,8 +351,11 @@ class GPUPerformanceModel:
             )
         kernels = []
         for op, kc in zip(program.operations, config.kernels):
-            launch = build_launch_cached(op, kc, program.dims)
-            kernels.append(self.kernel_timing(launch))
+            if isinstance(kc, TTGTConfig):
+                kernels.append(self.ttgt_kernel_timing(op, kc, program.dims))
+            else:
+                launch = build_launch_cached(op, kc, program.dims)
+                kernels.append(self.kernel_timing(launch))
         h2d_elems, d2h_elems = program.transfer_elements()
         h2d, d2h = program_transfer_time(
             self.arch, h2d_elems, d2h_elems, h2d_calls=len(program.input_names)

@@ -46,11 +46,20 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.gpusim.calibration import GPUCalibration
+from repro.gpusim.gemm import combine_busy, gemm_calibration, gemm_features, gemm_times
 from repro.gpusim.perfmodel import GPUPerformanceModel
 from repro.gpusim.transfer import program_transfer_time
+from repro.gpusim.transpose import transpose_calibration, transpose_time
 from repro.tcr.memory import stride_of
 from repro.tcr.program import TCROperation, TCRProgram
-from repro.tcr.space import ONE, KernelConfig, ProgramConfig, ProgramSpace
+from repro.tcr.space import (
+    ONE,
+    KernelConfig,
+    ProgramConfig,
+    ProgramSpace,
+    TTGTKernelSpace,
+)
+from repro.tcr.ttgt import resolve_plan_cached
 from repro.util.rng import StableHashPrefix
 
 __all__ = ["KernelTimingTable", "ProgramTimingTable"]
@@ -345,6 +354,87 @@ class KernelTimingTable:
             occupancy=occupancy,
         )
 
+    @classmethod
+    def build_ttgt(
+        cls,
+        model: GPUPerformanceModel,
+        operation: TCROperation,
+        configs: Sequence,
+        dims: Mapping[str, int],
+    ) -> "KernelTimingTable":
+        """Vectorized TTGT scoring: one table row per TTGT configuration.
+
+        Mirrors ``GPUPerformanceModel.ttgt_kernel_timing`` bitwise.  The
+        gather pass resolves each configuration's plan to integers via the
+        *same* :func:`~repro.gpusim.gemm.gemm_features` helper the scalar
+        path uses; the float math then runs through the *same*
+        ``gemm_times``/``transpose_time``/``combine_busy`` functions with
+        array arguments (all their operations are elementwise IEEE-754,
+        so scalar and array results agree bit for bit).  Transposes
+        occupy fixed (A, B, C) slots; absent slots contribute an exact
+        ``+ 0.0``, which preserves the scalar sum bitwise.  TTGT legality
+        is enforced at enumeration time, so every row is valid.
+        """
+        arch, cal = model.arch, model.cal
+        configs = tuple(configs)
+        n = len(configs)
+        gcal = gemm_calibration(arch)
+        tcal = transpose_calibration(arch)
+        wobble_key = StableHashPrefix("ttgt", arch.name, str(operation))
+        flops = operation.flops(dims)
+
+        feat = np.empty((8, n), dtype=np.float64)
+        n_kernels = np.empty(n, dtype=np.float64)
+        wob = np.empty(n, dtype=np.float64)
+        slot_elements = np.zeros((3, n), dtype=np.float64)
+        slot_read = np.ones((3, n), dtype=np.float64)
+        slot_write = np.ones((3, n), dtype=np.float64)
+        slot_preserved = np.zeros((3, n), dtype=np.float64)
+        slot_mask = np.zeros((3, n), dtype=bool)
+        slot_of = {"A": 0, "B": 1, "C": 2}
+        for i, cfg in enumerate(configs):
+            plan = resolve_plan_cached(operation, cfg, dims)
+            for j, value in enumerate(gemm_features(gcal, plan)):
+                feat[j, i] = value
+            n_kernels[i] = plan.n_kernels
+            wob[i] = wobble_key.uniform(cfg.describe())
+            for spec in plan.transposes:
+                s = slot_of[spec.slot]
+                slot_mask[s, i] = True
+                slot_elements[s, i] = spec.elements
+                slot_read[s, i] = spec.read_inner
+                slot_write[s, i] = spec.write_inner
+                slot_preserved[s, i] = 1.0 if spec.preserved else 0.0
+
+        compute_s, gemm_memory_s = gemm_times(
+            arch, gcal,
+            feat[0], feat[1], feat[2], feat[3], feat[4], feat[5], feat[6],
+            feat[7],
+        )
+        trans_s = np.zeros(n, dtype=np.float64)
+        for s in range(3):
+            t = transpose_time(
+                arch, tcal, slot_elements[s], slot_read[s], slot_write[s],
+                slot_preserved[s],
+            )
+            trans_s = trans_s + np.where(slot_mask[s], t, 0.0)
+        busy = combine_busy(compute_s, gemm_memory_s)
+        launch_s = n_kernels * (arch.kernel_launch_us * 1e-6)
+        wobble = 1.0 + cal.systematic_noise * (2.0 * wob - 1.0)
+        totals = (busy + trans_s) * wobble + launch_s
+
+        return cls(
+            operation=operation,
+            configs=configs,
+            flops=flops,
+            totals=totals,
+            valid=np.ones(n, dtype=bool),
+            compute_s=compute_s,
+            memory_s=gemm_memory_s + trans_s,
+            utilization=np.ones(n, dtype=np.float64),
+            occupancy=np.ones(n, dtype=np.float64),
+        )
+
 
 @dataclass(frozen=True)
 class ProgramTimingTable:
@@ -372,7 +462,9 @@ class ProgramTimingTable:
         space: ProgramSpace,
     ) -> "ProgramTimingTable":
         kernels = tuple(
-            KernelTimingTable.build(model, op, ks, program.dims)
+            KernelTimingTable.build_ttgt(model, op, ks, program.dims)
+            if isinstance(ks, TTGTKernelSpace)
+            else KernelTimingTable.build(model, op, ks, program.dims)
             for op, ks in zip(program.operations, space.kernel_spaces)
         )
         h2d_elems, d2h_elems = program.transfer_elements()

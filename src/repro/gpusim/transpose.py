@@ -1,0 +1,111 @@
+"""cuTT-style tensor-transpose cost model.
+
+A TTGT lowering materializes operand/result permutations as standalone
+transpose kernels before and after the batched GEMM.  Modern transpose
+generators (cuTT — Hynninen & Lyakh, *cutt: A High-Performance Tensor
+Transpose Library for CUDA Compatible GPUs*, see PAPERS.md) are
+memory-bandwidth bound: each element is read once and written once, and
+the achieved fraction of peak DRAM bandwidth depends on whether the
+kernel can keep **both** the read and the write side coalesced.
+
+Two kernel families cover the cases this repo's planner produces:
+
+``packed``
+    The innermost (fastest-varying) index is preserved by the
+    permutation, so contiguous runs of the source are contiguous in the
+    destination — reads and writes coalesce directly and the kernel is a
+    strided memcpy.  Efficiency is close to the streaming peak.
+
+``tiled``
+    The innermost index changes; the kernel stages a shared-memory tile
+    (cuTT's "tiled" algorithm) so that global reads follow the source
+    layout and global writes follow the destination layout, both
+    coalesced through the tile.  The shared-memory round trip and tile
+    edge effects cost a constant factor relative to ``packed``.
+
+Either way short innermost extents waste transaction bandwidth: a tile
+(or a run) narrower than ``tile_width`` elements leaves lanes idle on one
+side of the permutation.  The model scales efficiency linearly with the
+narrower of the two innermost extents, floored so tiny tensors degrade
+gracefully instead of diverging.
+
+Calibration constants live in a per-generation table — **not** on
+:class:`~repro.gpusim.arch.GPUArch` — so arch/calibration fingerprints
+(and therefore stored run keys) are untouched by the TTGT backend.
+
+Bitwise-parity note: every formula below uses only ``+ - * /`` and
+``np.minimum``/``np.maximum``, all of which produce identical IEEE-754
+results elementwise whether the inputs are Python floats or numpy
+float64 arrays.  The vectorized timing table calls these *same*
+functions with array arguments, so table/scalar parity holds by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.arch import GPUArch
+
+__all__ = [
+    "TransposeCal",
+    "TRANSPOSE_CAL",
+    "transpose_calibration",
+    "transpose_time",
+]
+
+_BYTES_PER_ELEMENT = 8  # double precision, as everywhere in the model
+
+
+@dataclass(frozen=True)
+class TransposeCal:
+    """Per-generation transpose-kernel efficiency constants."""
+
+    #: fraction of effective DRAM bandwidth for innermost-preserving copies
+    packed_eff: float
+    #: fraction for shared-memory tiled transposes (innermost changes)
+    tiled_eff: float
+    #: tile width in elements; narrower innermost extents waste lanes
+    tile_width: float
+    #: efficiency floor for degenerate (very narrow) shapes
+    floor_eff: float
+
+
+#: Keyed by ``GPUArch.generation``.  Fermi's weaker coalescing hardware
+#: (128B transactions, no read-only cache) pays more for tiling; Maxwell's
+#: larger L2 and 32B transactions keep even tiled transposes near peak.
+TRANSPOSE_CAL: dict[str, TransposeCal] = {
+    "Fermi": TransposeCal(packed_eff=0.82, tiled_eff=0.52, tile_width=16.0, floor_eff=0.18),
+    "Kepler": TransposeCal(packed_eff=0.86, tiled_eff=0.62, tile_width=32.0, floor_eff=0.20),
+    "Maxwell": TransposeCal(packed_eff=0.91, tiled_eff=0.74, tile_width=32.0, floor_eff=0.22),
+}
+
+
+def transpose_calibration(arch: GPUArch) -> TransposeCal:
+    """The transpose constants for ``arch``'s generation."""
+    return TRANSPOSE_CAL[arch.generation]
+
+
+def transpose_time(
+    arch: GPUArch,
+    cal: TransposeCal,
+    elements,
+    read_inner,
+    write_inner,
+    preserved,
+):
+    """Seconds to permute ``elements`` doubles on ``arch`` (launch excluded).
+
+    ``read_inner``/``write_inner`` are the innermost extents of the source
+    and destination layouts; ``preserved`` is 1.0 when the innermost index
+    survives the permutation (packed kernel) and 0.0 otherwise (tiled).
+    All four accept Python scalars or numpy arrays interchangeably.
+    """
+    eff = cal.tiled_eff + (cal.packed_eff - cal.tiled_eff) * preserved
+    narrow = np.minimum(read_inner, write_inner) / cal.tile_width
+    shape_factor = np.maximum(cal.floor_eff, np.minimum(1.0, narrow))
+    bytes_moved = 2.0 * _BYTES_PER_ELEMENT * elements
+    bandwidth = arch.dram_bandwidth_gbs * arch.dram_efficiency * 1e9
+    return bytes_moved / (bandwidth * eff * shape_factor)

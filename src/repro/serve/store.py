@@ -50,7 +50,7 @@ from repro.errors import StoreError
 from repro.obs.manifest import RunManifest
 from repro.obs.tracer import get_tracer
 from repro.surf.search import SearchResult
-from repro.tcr.space import KernelConfig, ProgramConfig
+from repro.tcr.space import KernelConfig, ProgramConfig, TTGTConfig
 from repro.util.jsonl import atomic_append_jsonl, load_jsonl, report_corrupt_lines
 from repro.util.rng import stable_hash
 
@@ -142,22 +142,70 @@ class StoreKey:
 # Record (de)serialization — bitwise round-trips
 
 
+def _pack_kernel(k) -> dict:
+    """JSON-able form of one per-kernel configuration.
+
+    Loop-nest kernels keep the original schema (no ``kind`` tag) so
+    every record written before the TTGT backend existed stays readable
+    byte-for-byte; TTGT kernels are tagged ``"kind": "ttgt"``.
+    """
+    if isinstance(k, TTGTConfig):
+        return {
+            "kind": "ttgt",
+            "m_order": list(k.m_order),
+            "n_order": list(k.n_order),
+            "k_order": list(k.k_order),
+            "batch_order": list(k.batch_order),
+            "batch_mode": k.batch_mode,
+            "op_a": k.op_a,
+            "op_b": k.op_b,
+            "swap_ab": k.swap_ab,
+            "trans_a": k.trans_a,
+            "trans_b": k.trans_b,
+            "trans_out": k.trans_out,
+        }
+    return {
+        "tx": k.tx,
+        "ty": k.ty,
+        "bx": k.bx,
+        "by": k.by,
+        "serial_order": list(k.serial_order),
+        "unroll": k.unroll,
+    }
+
+
+def _unpack_kernel(k: dict):
+    """Inverse of :func:`_pack_kernel` (absent ``kind`` = loop-nest)."""
+    if k.get("kind") == "ttgt":
+        return TTGTConfig(
+            m_order=tuple(k["m_order"]),
+            n_order=tuple(k["n_order"]),
+            k_order=tuple(k["k_order"]),
+            batch_order=tuple(k["batch_order"]),
+            batch_mode=str(k["batch_mode"]),
+            op_a=str(k["op_a"]),
+            op_b=str(k["op_b"]),
+            swap_ab=bool(k["swap_ab"]),
+            trans_a=bool(k["trans_a"]),
+            trans_b=bool(k["trans_b"]),
+            trans_out=bool(k["trans_out"]),
+        )
+    return KernelConfig(
+        tx=k["tx"],
+        ty=k["ty"],
+        bx=k["bx"],
+        by=k["by"],
+        serial_order=tuple(k["serial_order"]),
+        unroll=int(k["unroll"]),
+    )
+
+
 def pack_config(config: ProgramConfig) -> dict:
     """JSON-able form of a :class:`ProgramConfig` (exact round-trip)."""
     return {
         "variant_index": config.variant_index,
         "global_id": config.global_id,
-        "kernels": [
-            {
-                "tx": k.tx,
-                "ty": k.ty,
-                "bx": k.bx,
-                "by": k.by,
-                "serial_order": list(k.serial_order),
-                "unroll": k.unroll,
-            }
-            for k in config.kernels
-        ],
+        "kernels": [_pack_kernel(k) for k in config.kernels],
     }
 
 
@@ -165,17 +213,7 @@ def unpack_config(payload: dict) -> ProgramConfig:
     """Inverse of :func:`pack_config`."""
     return ProgramConfig(
         variant_index=int(payload["variant_index"]),
-        kernels=tuple(
-            KernelConfig(
-                tx=k["tx"],
-                ty=k["ty"],
-                bx=k["bx"],
-                by=k["by"],
-                serial_order=tuple(k["serial_order"]),
-                unroll=int(k["unroll"]),
-            )
-            for k in payload["kernels"]
-        ),
+        kernels=tuple(_unpack_kernel(k) for k in payload["kernels"]),
         global_id=int(payload["global_id"]),
     )
 

@@ -84,6 +84,28 @@ def chunk_ranges(total: int, parts: int) -> list[tuple[int, int]]:
 # ----------------------------------------------------------------------
 # Shared-memory arrays.
 
+def _record_cleanup_error(stage: str, segment: str, exc: BaseException) -> None:
+    """Count a swallowed shared-memory teardown failure on the tracer.
+
+    Teardown must stay best-effort (a dead worker may already have
+    unlinked a segment; a double-``close`` is harmless), but the expected
+    failure set is exactly ``(BufferError, FileNotFoundError, OSError)``
+    — anything else is a programming error and now propagates.  The
+    expected ones emit a ``search.shm_cleanup_error`` event so traced
+    runs can count leaks/use-after-free signals instead of losing them.
+    """
+    from repro.obs.tracer import get_tracer
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "search.shm_cleanup_error",
+            category="search",
+            stage=stage,
+            segment=segment,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
 #: Per-process cache of attached segments: name -> (SharedMemory, ndarray).
 #: Keeps worker attach cost to one dict lookup per task and keeps the
 #: mapped segment alive for the worker's lifetime.
@@ -139,15 +161,15 @@ class SharedArray:
         self.array = None
         try:
             self._shm.close()
-        except Exception:
-            pass
+        except (BufferError, FileNotFoundError, OSError) as exc:
+            _record_cleanup_error("close", self._shm.name, exc)
 
     def unlink(self) -> None:
         self.close()
         try:
             self._shm.unlink()
-        except Exception:
-            pass
+        except (BufferError, FileNotFoundError, OSError) as exc:
+            _record_cleanup_error("unlink", self._shm.name, exc)
 
 
 # ----------------------------------------------------------------------
@@ -208,7 +230,8 @@ class SearchWorkerContext:
             probe = shared_memory.SharedMemory(create=True, size=1)
             probe.close()
             probe.unlink()
-        except Exception:
+        except (BufferError, FileNotFoundError, OSError) as exc:
+            _record_cleanup_error("probe", "<capability-probe>", exc)
             return None
         return cls(int(workers))
 

@@ -11,8 +11,16 @@ autotuning search space (Fig. 2c), and the C / CUDA code generators
 from repro.tcr.program import TCROperation, TCRProgram
 from repro.tcr.loopnest import LoopNest, build_loop_nest
 from repro.tcr.memory import contiguous_tensors, access_analysis
-from repro.tcr.decision import decide_search_space
-from repro.tcr.space import KernelSpace, ProgramSpace, KernelConfig, ProgramConfig
+from repro.tcr.decision import BACKENDS, decide_search_space
+from repro.tcr.space import (
+    KernelSpace,
+    ProgramSpace,
+    KernelConfig,
+    ProgramConfig,
+    TTGTConfig,
+    TTGTKernelSpace,
+)
+from repro.tcr.ttgt import decide_ttgt_space, resolve_plan
 
 __all__ = [
     "TCROperation",
@@ -21,9 +29,14 @@ __all__ = [
     "build_loop_nest",
     "contiguous_tensors",
     "access_analysis",
+    "BACKENDS",
     "decide_search_space",
+    "decide_ttgt_space",
+    "resolve_plan",
     "KernelSpace",
     "ProgramSpace",
     "KernelConfig",
     "ProgramConfig",
+    "TTGTConfig",
+    "TTGTKernelSpace",
 ]

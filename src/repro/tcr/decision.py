@@ -33,6 +33,7 @@ from repro.tcr.program import TCROperation, TCRProgram
 from repro.tcr.space import ONE, KernelSpace, ProgramSpace
 
 __all__ = [
+    "BACKENDS",
     "thread_block_candidates",
     "decide_kernel_space",
     "decide_search_space",
@@ -75,8 +76,11 @@ def thread_block_candidates(
         # Any parallel loop not reachable through the inputs (it can happen
         # when the output has an index some input lacks… only via the other
         # input; still, be safe and complete the list in output order).
+        # The same parallel-only filter as the passes above applies here:
+        # candidates feed thread/block PERMUTE lists, which must never
+        # carry a dependence.
         for idx in operation.output.indices:
-            if idx not in ordered:
+            if idx in parallel and idx not in ordered:
                 ordered.append(idx)
     return tuple(tx), tuple(ordered)
 
@@ -158,23 +162,106 @@ def decide_kernel_space(
     )
 
 
+#: Recognized values of the ``backend`` parameter / CLI flag.
+BACKENDS = ("loopnest", "ttgt", "auto")
+
+
+def _choose_backend_space(operation, loop_space, ttgt_space, dims, model):
+    """Per-operation backend choice for ``backend="auto"``.
+
+    Scores both candidate spaces with the vectorized timing tables and
+    keeps the one whose *best valid configuration* is faster — exactly
+    the quantity a sweep search would optimize, so under the separable
+    program objective ``auto`` can never lose to either fixed backend.
+    Ties (and a loop-nest space with no valid configuration at all) go
+    to TTGT only when it is strictly better / the only survivor;
+    otherwise the paper's loop-nest path wins.
+    """
+    # Local import: repro.gpusim.timing_table imports repro.tcr.space,
+    # which would close a package-level cycle through repro.tcr.__init__.
+    from repro.gpusim.timing_table import KernelTimingTable
+
+    loop_table = KernelTimingTable.build(model, operation, loop_space, dims)
+    ttgt_table = KernelTimingTable.build_ttgt(model, operation, ttgt_space, dims)
+    best_ttgt = float(ttgt_table.totals.min())
+    if not bool(loop_table.valid.any()):
+        return ttgt_space, float("inf"), best_ttgt
+    best_loop = float(loop_table.totals.min())
+    chosen = ttgt_space if best_ttgt < best_loop else loop_space
+    return chosen, best_loop, best_ttgt
+
+
 def decide_search_space(
-    program: TCRProgram, variant_index: int = 0, permute_serial: bool = False
+    program: TCRProgram,
+    variant_index: int = 0,
+    permute_serial: bool = False,
+    backend: str = "loopnest",
+    model=None,
 ) -> ProgramSpace:
-    """Build the full per-variant space: one kernel space per operation."""
+    """Build the full per-variant space: one kernel space per operation.
+
+    ``backend`` selects the lowering family per operation:
+
+    * ``"loopnest"`` (default) — the paper's direct loop-nest kernels.
+    * ``"ttgt"`` — the transpose-transpose-GEMM-transpose lowering where
+      the operation is TTGT-eligible; ineligible operations (unary ops,
+      copies, outer products…) fall back to the loop-nest space.
+    * ``"auto"`` — score both candidate spaces with ``model`` (a
+      :class:`~repro.gpusim.perfmodel.GPUPerformanceModel`, required)
+      and keep the per-operation winner.
+    """
+    if backend not in BACKENDS:
+        raise SearchSpaceError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto" and model is None:
+        raise SearchSpaceError(
+            "backend='auto' needs a performance model to score the "
+            "candidate spaces; pass model=GPUPerformanceModel(arch)"
+        )
+    # Local import keeps repro.tcr.decision importable before
+    # repro.tcr.ttgt during package initialization.
+    from repro.tcr.ttgt import decide_ttgt_space
+
     tracer = get_tracer()
     with tracer.span(
         "tcr.decision", category="tcr",
-        program=program.name, variant=variant_index,
+        program=program.name, variant=variant_index, backend=backend,
     ) as sp:
-        spaces = tuple(
-            decide_kernel_space(op, program.dims, permute_serial)
-            for op in program.operations
-        )
+        spaces = []
+        for op in program.operations:
+            loop_space = decide_kernel_space(op, program.dims, permute_serial)
+            if backend == "loopnest":
+                spaces.append(loop_space)
+                continue
+            ttgt_space = decide_ttgt_space(op, program.dims)
+            if ttgt_space is None:
+                if tracer.enabled:
+                    tracer.event(
+                        "tcr.backend_choice", category="tcr",
+                        operation=str(op), requested=backend,
+                        chosen="loopnest", reason="ineligible",
+                    )
+                spaces.append(loop_space)
+                continue
+            if backend == "ttgt":
+                spaces.append(ttgt_space)
+                continue
+            chosen, best_loop, best_ttgt = _choose_backend_space(
+                op, loop_space, ttgt_space, program.dims, model
+            )
+            if tracer.enabled:
+                tracer.event(
+                    "tcr.backend_choice", category="tcr",
+                    operation=str(op), requested=backend,
+                    chosen="ttgt" if chosen is ttgt_space else "loopnest",
+                    best_loopnest_s=best_loop, best_ttgt_s=best_ttgt,
+                )
+            spaces.append(chosen)
         space = ProgramSpace(
             variant_index=variant_index,
             program=program,
-            kernel_spaces=spaces,
+            kernel_spaces=tuple(spaces),
         )
         if tracer.enabled:
             sp.set(kernels=len(spaces), size=space.size())

@@ -31,8 +31,10 @@ from repro.tcr.program import TCROperation, TCRProgram
 __all__ = [
     "ONE",
     "KernelConfig",
+    "TTGTConfig",
     "ProgramConfig",
     "KernelSpace",
+    "TTGTKernelSpace",
     "ProgramSpace",
     "TuningSpace",
 ]
@@ -78,6 +80,107 @@ class KernelConfig:
         return (
             f"thread=({self.tx},{self.ty}) block=({self.bx},{self.by}) "
             f"serial=({so}) unroll={self.unroll}"
+        )
+
+
+@dataclass(frozen=True)
+class TTGTConfig:
+    """One point of a kernel's TTGT (transpose-transpose-GEMM-transpose)
+    parameter space — the alternative lowering to :class:`KernelConfig`.
+
+    The contraction's indices are classified into the four GEMM groups
+    (batch / M / N / K); a configuration fixes the linearization order
+    *within* each group, how the batch group is realized, the GEMM
+    operand layouts, and whether the GEMM computes C or Cᵀ.  Which
+    transposes must be materialized follows deterministically (an operand
+    whose source layout already matches the required packed layout needs
+    none) and is recorded so the cost model, the store codec, and
+    ``describe()`` agree without re-deriving it.
+
+    Attributes
+    ----------
+    m_order, n_order, k_order, batch_order:
+        Linearization order of each index group (row-major, last fastest).
+    batch_mode:
+        ``"strided"`` (shared batch indices become the GEMM batch),
+        ``"flat"`` (no batch group; one plain GEMM), or ``"batch_m"`` /
+        ``"batch_n"`` (peel the outermost M/N index into a broadcast
+        batch — the operand lacking it is shared across batch members).
+    op_a, op_b:
+        Stored layout of the GEMM operands: ``"N"`` = A as [M,K] / B as
+        [K,N] row-major, ``"T"`` = the transposed layout.
+    swap_ab:
+        Compute Cᵀ = [N,M] instead of C (swaps which group is tiled as
+        rows vs columns).
+    trans_a, trans_b, trans_out:
+        Which permutations are materialized as transpose kernels.
+    """
+
+    m_order: tuple[str, ...]
+    n_order: tuple[str, ...]
+    k_order: tuple[str, ...]
+    batch_order: tuple[str, ...]
+    batch_mode: str
+    op_a: str
+    op_b: str
+    swap_ab: bool
+    trans_a: bool
+    trans_b: bool
+    trans_out: bool
+
+    # ------------------------------------------------------------------
+    # Duck-typed view of the KernelConfig feature surface.  The SURF
+    # feature pipeline (ProgramConfig.features, KernelSpace.feature_tables,
+    # surf.pool's columnar gather) reads exactly tx/ty/bx/by as categorical
+    # strings, innermost_serial as a string-or-None, and unroll as an int.
+    # Presenting the TTGT tuning axes through the same attributes lets
+    # TTGT spaces flow through binarization, pools, and the forest
+    # surrogate with zero changes there.
+
+    @property
+    def tx(self) -> str:
+        return "m:" + (",".join(self.m_order) or "-")
+
+    @property
+    def ty(self) -> str:
+        return "n:" + (",".join(self.n_order) or "-")
+
+    @property
+    def bx(self) -> str:
+        return "k:" + (",".join(self.k_order) or "-")
+
+    @property
+    def by(self) -> str:
+        order = ",".join(self.batch_order) or "-"
+        return f"b:{self.batch_mode}:{order}"
+
+    @property
+    def innermost_serial(self) -> str:
+        """GEMM shape selector as a categorical feature (never falsy)."""
+        return f"{self.op_a}{self.op_b}{'x' if self.swap_ab else '-'}"
+
+    @property
+    def unroll(self) -> int:
+        """Materialized-transpose count, offset to stay >= 1 (the feature
+        pipeline treats unroll as an ordinal >= 1)."""
+        return 1 + int(self.trans_a) + int(self.trans_b) + int(self.trans_out)
+
+    @property
+    def mapped(self) -> tuple[str, ...]:
+        """All indices consumed by the GEMM decomposition."""
+        return self.batch_order + self.m_order + self.n_order + self.k_order
+
+    def describe(self) -> str:
+        trans = "".join(
+            name
+            for name, on in (("A", self.trans_a), ("B", self.trans_b), ("C", self.trans_out))
+            if on
+        )
+        return (
+            f"ttgt m=({','.join(self.m_order)}) n=({','.join(self.n_order)}) "
+            f"k=({','.join(self.k_order)}) batch={self.batch_mode}"
+            f"({','.join(self.batch_order)}) gemm={self.op_a}{self.op_b}"
+            f"{'x' if self.swap_ab else ''} trans=({trans or '-'})"
         )
 
 
@@ -227,13 +330,80 @@ class KernelSpace:
         return self._feature_tables
 
 
+class TTGTKernelSpace:
+    """The legal TTGT lowerings of one kernel, fully materialized.
+
+    Interchangeable with :class:`KernelSpace` everywhere the search stack
+    touches a per-kernel space (``ProgramSpace``/``TuningSpace`` digits,
+    the columnar feature gather, timing tables): same ``operation``
+    attribute, same container protocol, same ``feature_tables()`` keys.
+    The enumeration itself lives in :mod:`repro.tcr.ttgt` — this class
+    only holds the points.
+    """
+
+    def __init__(
+        self, operation: TCROperation, configs: Sequence[TTGTConfig]
+    ) -> None:
+        self.operation = operation
+        self._configs = tuple(configs)
+        if not self._configs:
+            raise SearchSpaceError(
+                f"TTGT space for {operation} is empty; the operation should "
+                "have been ruled ineligible instead"
+            )
+        self._index = {cfg: i for i, cfg in enumerate(self._configs)}
+        self._feature_tables: dict[str, object] | None = None
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def __iter__(self) -> Iterator[TTGTConfig]:
+        return iter(self._configs)
+
+    def __getitem__(self, i: int) -> TTGTConfig:
+        return self._configs[i]
+
+    def index_of(self, config: TTGTConfig) -> int:
+        try:
+            return self._index[config]
+        except KeyError:
+            raise ConfigurationError(
+                f"configuration {config.describe()} is not in this kernel space"
+            ) from None
+
+    def feature_tables(self) -> dict[str, object]:
+        """Columnar surrogate features — same schema as
+        :meth:`KernelSpace.feature_tables` (the configs duck-type the
+        attribute surface, so the construction is identical)."""
+        if self._feature_tables is None:
+            def table(values: list[str]) -> tuple[np.ndarray, tuple[str, ...]]:
+                vocab = tuple(sorted(set(values)))
+                index = {v: c for c, v in enumerate(vocab)}
+                codes = np.array([index[v] for v in values], dtype=np.int64)
+                return codes, vocab
+
+            self._feature_tables = {
+                "tx": table([c.tx for c in self._configs]),
+                "ty": table([c.ty for c in self._configs]),
+                "bx": table([c.bx for c in self._configs]),
+                "by": table([c.by for c in self._configs]),
+                "inner": table(
+                    [c.innermost_serial or "-" for c in self._configs]
+                ),
+                "unroll": np.array(
+                    [float(c.unroll) for c in self._configs]
+                ),
+            }
+        return self._feature_tables
+
+
 @dataclass
 class ProgramSpace:
     """Cross product of kernel spaces for one OCTOPI variant."""
 
     variant_index: int
     program: TCRProgram
-    kernel_spaces: tuple[KernelSpace, ...]
+    kernel_spaces: tuple[KernelSpace | TTGTKernelSpace, ...]
 
     def __post_init__(self) -> None:
         if len(self.kernel_spaces) != len(self.program.operations):

@@ -1,0 +1,395 @@
+"""TTGT lowering: a TCR operation as transpose + batched GEMM + transpose.
+
+The industrial alternative to the paper's direct loop-nest kernels
+(Shi et al., *Tensor Contractions with Extended BLAS Kernels*, PAPERS.md)
+maps a binary contraction onto a batched/strided GEMM by classifying its
+indices into four groups:
+
+=========  =======================================  ==================
+group      membership                               GEMM role
+=========  =======================================  ==================
+``batch``  in A, in B, and in the output            strided batch dim
+``m``      in A and the output only                 GEMM rows
+``n``      in B and the output only                 GEMM columns
+``k``      in A and B only (contracted)             inner product
+=========  =======================================  ==================
+
+A *TTGT configuration* (:class:`~repro.tcr.space.TTGTConfig`) then fixes
+the linearization order inside each group, how the batch group is
+realized (strided batch / flat / peeling the outermost M or N index into
+a broadcast batch), the GEMM operand layouts (N/T per operand), and
+whether the GEMM produces C or Cᵀ.  Operands whose source layout already
+matches the required packed layout need no transpose kernel; the others
+are materialized — exactly the "which transposes to materialize" tuning
+axis of cuTT-based TTGT frameworks.
+
+:func:`decide_ttgt_space` enumerates the legal configurations for one
+operation (or rules it ineligible), and :func:`resolve_plan` lowers a
+configuration to the integer GEMM shape plus the transpose work items the
+cost models consume.  Nothing here executes: like the loop-nest path,
+TTGT kernels exist as analytical timing only (there is no cuBLAS in this
+environment), so the functional executor and the CUDA code generator
+remain loop-nest-only by design.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ConfigurationError
+from repro.tcr.program import TCROperation
+from repro.tcr.space import TTGTConfig, TTGTKernelSpace
+
+__all__ = [
+    "TTGTGroups",
+    "TransposeSpec",
+    "TTGTPlan",
+    "classify_groups",
+    "enumerate_ttgt_configs",
+    "decide_ttgt_space",
+    "resolve_plan",
+    "resolve_plan_cached",
+]
+
+
+@dataclass(frozen=True)
+class TTGTGroups:
+    """The four GEMM index groups of one eligible operation (as sets)."""
+
+    batch: frozenset[str]
+    m: frozenset[str]
+    n: frozenset[str]
+    k: frozenset[str]
+
+
+@dataclass(frozen=True)
+class TransposeSpec:
+    """One materialized permutation: the transpose cost model's input."""
+
+    #: which operand this permutes: "A", "B", or "C" (the output)
+    slot: str
+    elements: int
+    #: innermost extent of the read-side (source) layout
+    read_inner: int
+    #: innermost extent of the write-side (destination) layout
+    write_inner: int
+    #: the innermost index survives the permutation (packed kernel)
+    preserved: bool
+
+
+@dataclass(frozen=True)
+class TTGTPlan:
+    """A configuration resolved against concrete extents: the integer GEMM
+    shape plus the transpose work items."""
+
+    m: int
+    n: int
+    k: int
+    #: GEMM batch count (1 for flat)
+    batch: int
+    #: batch multiplicity of A's / B's traffic (1 when broadcast)
+    batch_a: int
+    batch_b: int
+    op_a: str
+    op_b: str
+    swap_ab: bool
+    #: materialized transposes, in fixed (A, B, C) slot order
+    transposes: tuple[TransposeSpec, ...]
+    #: GPU kernels launched: the GEMM plus one per transpose
+    n_kernels: int
+
+
+# ----------------------------------------------------------------------
+# Classification and enumeration.
+
+def classify_groups(operation: TCROperation) -> TTGTGroups | None:
+    """Classify ``operation``'s indices into GEMM groups, or ``None`` when
+    the operation has no TTGT lowering.
+
+    Ineligible: non-binary operations (nothing to GEMM), an output index
+    appearing in neither input (no operand carries it through the GEMM),
+    or an empty M/N/K group (no matrix product to speak of — copies,
+    outer products and matrix-vector shapes stay on the loop-nest path).
+    """
+    if len(operation.inputs) != 2:
+        return None
+    a_ref, b_ref = operation.inputs
+    a, b = set(a_ref.indices), set(b_ref.indices)
+    o = set(operation.output.indices)
+    if o - a - b:
+        return None
+    batch = a & b & o
+    m = (a & o) - b
+    n = (b & o) - a
+    k = (a & b) - o
+    if not m or not n or not k:
+        return None
+    return TTGTGroups(
+        batch=frozenset(batch), m=frozenset(m), n=frozenset(n), k=frozenset(k)
+    )
+
+
+def _group_orders(group: frozenset[str], refs) -> tuple[tuple[str, ...], ...]:
+    """Candidate linearization orders for ``group``: its order of
+    appearance in each reference that contains the whole group, deduped."""
+    seen: list[tuple[str, ...]] = []
+    for ref in refs:
+        order = tuple(i for i in ref.indices if i in group)
+        if len(order) == len(group) and order not in seen:
+            seen.append(order)
+    return tuple(seen) if seen else ((),)
+
+
+def enumerate_ttgt_configs(operation: TCROperation) -> tuple[TTGTConfig, ...]:
+    """All legal TTGT configurations of ``operation`` (deterministic
+    order), or ``()`` when the operation is ineligible."""
+    groups = classify_groups(operation)
+    if groups is None:
+        return ()
+    a_ref, b_ref = operation.inputs
+    out_ref = operation.output
+
+    m_orders = _group_orders(groups.m, (a_ref, out_ref))
+    n_orders = _group_orders(groups.n, (b_ref, out_ref))
+    k_orders = _group_orders(groups.k, (a_ref, b_ref))
+    if groups.batch:
+        batch_choices = [
+            ("strided", order)
+            for order in _group_orders(groups.batch, (a_ref, b_ref, out_ref))
+        ]
+    else:
+        batch_choices = [("flat", ())]
+        if len(groups.m) >= 2:
+            batch_choices.append(("batch_m", ()))
+        if len(groups.n) >= 2:
+            batch_choices.append(("batch_n", ()))
+
+    configs: list[TTGTConfig] = []
+    for m_order in m_orders:
+        for n_order in n_orders:
+            for k_order in k_orders:
+                for batch_mode, batch_order in batch_choices:
+                    for op_a in ("N", "T"):
+                        for op_b in ("N", "T"):
+                            for swap_ab in (False, True):
+                                layouts = _layouts(
+                                    m_order, n_order, k_order, batch_order,
+                                    batch_mode, op_a, op_b, swap_ab,
+                                )
+                                a_layout, b_layout, c_layout = layouts
+                                configs.append(
+                                    TTGTConfig(
+                                        m_order=m_order,
+                                        n_order=n_order,
+                                        k_order=k_order,
+                                        batch_order=tuple(batch_order),
+                                        batch_mode=batch_mode,
+                                        op_a=op_a,
+                                        op_b=op_b,
+                                        swap_ab=swap_ab,
+                                        trans_a=a_layout != a_ref.indices,
+                                        trans_b=b_layout != b_ref.indices,
+                                        trans_out=c_layout != out_ref.indices,
+                                    )
+                                )
+    return tuple(configs)
+
+
+def decide_ttgt_space(
+    operation: TCROperation, dims: Mapping[str, int]
+) -> TTGTKernelSpace | None:
+    """The TTGT kernel space for ``operation``, or ``None`` if ineligible.
+
+    ``dims`` is accepted for signature symmetry with
+    :func:`repro.tcr.decision.decide_kernel_space`; TTGT legality is a
+    pure index-structure property.
+    """
+    configs = enumerate_ttgt_configs(operation)
+    if not configs:
+        return None
+    return TTGTKernelSpace(operation, configs)
+
+
+# ----------------------------------------------------------------------
+# Plan resolution.
+
+def _layouts(
+    m_order: tuple[str, ...],
+    n_order: tuple[str, ...],
+    k_order: tuple[str, ...],
+    batch_order: tuple[str, ...],
+    batch_mode: str,
+    op_a: str,
+    op_b: str,
+    swap_ab: bool,
+) -> tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...]]:
+    """Required packed (row-major) layouts of A, B, and the output."""
+    if batch_mode == "strided":
+        a_batch = b_batch = c_batch = tuple(batch_order)
+        m_part, n_part = m_order, n_order
+    elif batch_mode == "batch_m":
+        a_batch = c_batch = (m_order[0],)
+        b_batch = ()
+        m_part, n_part = m_order[1:], n_order
+    elif batch_mode == "batch_n":
+        b_batch = c_batch = (n_order[0],)
+        a_batch = ()
+        m_part, n_part = m_order, n_order[1:]
+    elif batch_mode == "flat":
+        a_batch = b_batch = c_batch = ()
+        m_part, n_part = m_order, n_order
+    else:
+        raise ConfigurationError(f"unknown TTGT batch mode {batch_mode!r}")
+    a_layout = a_batch + (m_part + k_order if op_a == "N" else k_order + m_part)
+    b_layout = b_batch + (k_order + n_part if op_b == "N" else n_part + k_order)
+    c_core = (n_part + m_part) if swap_ab else (m_part + n_part)
+    return a_layout, b_layout, c_batch + c_core
+
+
+def _product(indices: tuple[str, ...], dims: Mapping[str, int]) -> int:
+    total = 1
+    for idx in indices:
+        total *= dims[idx]
+    return total
+
+
+def _transpose_spec(
+    slot: str,
+    source: tuple[str, ...],
+    target: tuple[str, ...],
+    dims: Mapping[str, int],
+) -> TransposeSpec:
+    if set(source) != set(target):
+        raise ConfigurationError(
+            f"TTGT {slot} layout {target} is not a permutation of {source}"
+        )
+    return TransposeSpec(
+        slot=slot,
+        elements=_product(source, dims),
+        read_inner=dims[source[-1]],
+        write_inner=dims[target[-1]],
+        preserved=source[-1] == target[-1],
+    )
+
+
+def resolve_plan(
+    operation: TCROperation,
+    config: TTGTConfig,
+    dims: Mapping[str, int],
+) -> TTGTPlan:
+    """Lower ``config`` to its integer GEMM shape and transpose work.
+
+    Raises :class:`ConfigurationError` when the configuration does not
+    belong to ``operation`` (wrong groups, inconsistent transpose flags —
+    e.g. a record unpacked against the wrong operation).
+    """
+    groups = classify_groups(operation)
+    if groups is None:
+        raise ConfigurationError(
+            f"{operation} has no TTGT lowering (loop-nest only)"
+        )
+    for order, group, label in (
+        (config.m_order, groups.m, "m"),
+        (config.n_order, groups.n, "n"),
+        (config.k_order, groups.k, "k"),
+    ):
+        if set(order) != group or len(order) != len(group):
+            raise ConfigurationError(
+                f"TTGT {label}-order {order} does not cover group "
+                f"{sorted(group)} of {operation}"
+            )
+    if config.batch_mode == "strided":
+        if set(config.batch_order) != groups.batch:
+            raise ConfigurationError(
+                f"TTGT batch order {config.batch_order} does not cover "
+                f"group {sorted(groups.batch)} of {operation}"
+            )
+    elif groups.batch:
+        raise ConfigurationError(
+            f"{operation} has shared batch indices; batch_mode must be "
+            f"'strided', not {config.batch_mode!r}"
+        )
+
+    a_ref, b_ref = operation.inputs
+    out_ref = operation.output
+    a_layout, b_layout, c_layout = _layouts(
+        config.m_order, config.n_order, config.k_order, config.batch_order,
+        config.batch_mode, config.op_a, config.op_b, config.swap_ab,
+    )
+    derived = (
+        a_layout != a_ref.indices,
+        b_layout != b_ref.indices,
+        c_layout != out_ref.indices,
+    )
+    if derived != (config.trans_a, config.trans_b, config.trans_out):
+        raise ConfigurationError(
+            f"TTGT transpose flags {config.trans_a, config.trans_b, config.trans_out} "
+            f"are inconsistent with the layouts of {operation} "
+            f"(expected {derived})"
+        )
+
+    if config.batch_mode == "strided":
+        batch = _product(config.batch_order, dims)
+        batch_a = batch_b = batch
+        m_part, n_part = config.m_order, config.n_order
+    elif config.batch_mode == "batch_m":
+        batch = dims[config.m_order[0]]
+        batch_a, batch_b = batch, 1
+        m_part, n_part = config.m_order[1:], config.n_order
+    elif config.batch_mode == "batch_n":
+        batch = dims[config.n_order[0]]
+        batch_a, batch_b = 1, batch
+        m_part, n_part = config.m_order, config.n_order[1:]
+    else:  # flat
+        batch = batch_a = batch_b = 1
+        m_part, n_part = config.m_order, config.n_order
+
+    transposes: list[TransposeSpec] = []
+    if config.trans_a:
+        transposes.append(_transpose_spec("A", a_ref.indices, a_layout, dims))
+    if config.trans_b:
+        transposes.append(_transpose_spec("B", b_ref.indices, b_layout, dims))
+    if config.trans_out:
+        # The GEMM writes c_layout; the transpose unpacks it into the
+        # program's declared output layout (read = packed, write = source).
+        transposes.append(
+            _transpose_spec("C", c_layout, out_ref.indices, dims)
+        )
+
+    return TTGTPlan(
+        m=_product(m_part, dims),
+        n=_product(n_part, dims),
+        k=_product(config.k_order, dims),
+        batch=batch,
+        batch_a=batch_a,
+        batch_b=batch_b,
+        op_a=config.op_a,
+        op_b=config.op_b,
+        swap_ab=config.swap_ab,
+        transposes=tuple(transposes),
+        n_kernels=1 + (1 if config.trans_a else 0)
+        + (1 if config.trans_b else 0)
+        + (1 if config.trans_out else 0),
+    )
+
+
+@lru_cache(maxsize=65536)
+def _resolve_plan_from_items(
+    operation: TCROperation,
+    config: TTGTConfig,
+    dims_items: tuple[tuple[str, int], ...],
+) -> TTGTPlan:
+    return resolve_plan(operation, config, dict(dims_items))
+
+
+def resolve_plan_cached(
+    operation: TCROperation,
+    config: TTGTConfig,
+    dims: Mapping[str, int],
+) -> TTGTPlan:
+    """Memoized :func:`resolve_plan` (mirrors ``build_launch_cached``)."""
+    return _resolve_plan_from_items(
+        operation, config, tuple(sorted(dims.items()))
+    )

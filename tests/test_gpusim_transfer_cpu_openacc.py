@@ -36,9 +36,26 @@ class TestTransfer:
         five = transfer_time(GTX980, 100, calls=5)
         assert five - one == pytest.approx(4 * GTX980.pcie_latency_us * 1e-6)
 
+    @pytest.mark.parametrize("arch", [C2050, K20, GTX980], ids=lambda a: a.name)
+    def test_linear_in_calls(self, arch):
+        # t(calls) = calls * latency + bytes/bandwidth: exactly affine in
+        # the call count, with slope equal to the per-call latency.
+        elements = 4096
+        times = [transfer_time(arch, elements, calls=c) for c in (1, 2, 3, 7)]
+        latency = arch.pcie_latency_us * 1e-6
+        for t, calls in zip(times, (1, 2, 3, 7)):
+            assert t - times[0] == pytest.approx((calls - 1) * latency)
+
+    def test_zero_calls_short_circuit(self):
+        # Zero copies move nothing: exactly 0.0, not a latency residue.
+        assert transfer_time(GTX980, 100, calls=0) == 0.0
+        assert transfer_time(GTX980, 0, calls=5) == 0.0
+
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             transfer_time(GTX980, -1)
+        with pytest.raises(ValueError):
+            transfer_time(GTX980, 100, calls=-1)
 
 
 class TestCPUModel:

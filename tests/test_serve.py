@@ -68,12 +68,72 @@ class TestStoreKey:
         assert "workers" in RESULT_NEUTRAL_SETTINGS
         assert "search_workers" in RESULT_NEUTRAL_SETTINGS
 
+    def test_backend_is_store_key_relevant(self, two_op_program):
+        # The backend decides which kernel spaces exist, so "ttgt" and
+        # "auto" runs must never be served a "loopnest" record (or each
+        # other's).  The explicit default spelling maps to the same key
+        # as the implicit one: pre-backend records stay servable.
+        def manifest(**overrides):
+            tuner = Autotuner(GTX980, seed=0, **overrides)
+            return tuner.run_manifest("m", [two_op_program])
+
+        base = StoreKey.from_manifest(manifest())
+        assert StoreKey.from_manifest(manifest(backend="loopnest")) == base
+        ttgt = StoreKey.from_manifest(manifest(backend="ttgt"))
+        auto = StoreKey.from_manifest(manifest(backend="auto"))
+        assert ttgt != base
+        assert auto != base
+        assert ttgt != auto
+        assert "backend" not in RESULT_NEUTRAL_SETTINGS
+
 
 class TestConfigRoundTrip:
     def test_config_packs_exactly(self, space):
         for gid in (0, 1, space.size() - 1):
             config = space.config_at(gid)
             assert unpack_config(pack_config(config)) == config
+
+    def test_loopnest_payload_schema_unchanged(self, space):
+        # Records written before the TTGT backend existed carry no
+        # "kind" tag; the packer must keep emitting that exact schema so
+        # old stores and new readers stay byte-compatible both ways.
+        payload = pack_config(space.config_at(0))
+        for kernel in payload["kernels"]:
+            assert "kind" not in kernel
+            assert set(kernel) == {
+                "tx", "ty", "bx", "by", "serial_order", "unroll"
+            }
+
+    def test_ttgt_config_packs_exactly(self):
+        from repro.core.tensor import TensorRef
+        from repro.tcr.program import TCROperation, TCRProgram
+
+        program = TCRProgram(
+            name="batched",
+            dims={"b": 4, "i": 4, "j": 4, "k": 4},
+            arrays={
+                "A": ("i", "b", "k"),
+                "B": ("b", "k", "j"),
+                "C": ("b", "i", "j"),
+            },
+            operations=[
+                TCROperation(
+                    TensorRef("C", ("b", "i", "j")),
+                    (
+                        TensorRef("A", ("i", "b", "k")),
+                        TensorRef("B", ("b", "k", "j")),
+                    ),
+                )
+            ],
+        )
+        ttgt_space = TuningSpace(
+            [decide_search_space(program, backend="ttgt")]
+        )
+        for gid in range(ttgt_space.size()):
+            config = ttgt_space.config_at(gid)
+            payload = json.loads(json.dumps(pack_config(config)))
+            assert payload["kernels"][0]["kind"] == "ttgt"
+            assert unpack_config(payload) == config
 
     def test_search_result_round_trips_bitwise(self, space):
         history = [

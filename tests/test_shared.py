@@ -118,6 +118,72 @@ class TestSharedArray:
             SharedArray()
 
 
+class TestCleanupErrorHandling:
+    """Teardown swallows only the expected failure set, and traces it."""
+
+    @pytest.mark.parametrize("exc_type", [BufferError, FileNotFoundError, OSError])
+    def test_expected_close_failure_swallowed_and_traced(self, exc_type):
+        from repro.obs.tracer import Tracer, use_tracer
+
+        shared = SharedArray(shape=(2,), dtype=np.float64)
+        real_close = shared._shm.close
+
+        def failing_close():
+            real_close()
+            raise exc_type("injected teardown failure")
+
+        shared._shm.close = failing_close
+        with use_tracer(Tracer()) as tracer:
+            shared.close()  # must not raise
+        shared._shm.close = real_close
+        shared.unlink()
+        events = [
+            s for s in tracer.finished()
+            if s.name == "search.shm_cleanup_error"
+        ]
+        assert len(events) == 1
+        attrs = events[0].attributes
+        assert attrs["stage"] == "close"
+        assert attrs["segment"] == shared._shm.name
+        assert exc_type.__name__ in attrs["error"]
+        assert "injected teardown failure" in attrs["error"]
+
+    def test_unlink_failure_traced_with_stage(self):
+        from repro.obs.tracer import Tracer, use_tracer
+
+        shared = SharedArray(shape=(2,), dtype=np.float64)
+        shared.unlink()
+        with use_tracer(Tracer()) as tracer:
+            shared.unlink()  # second unlink: segment already gone
+        stages = [
+            s.attributes["stage"] for s in tracer.finished()
+            if s.name == "search.shm_cleanup_error"
+        ]
+        assert "unlink" in stages
+
+    def test_unexpected_failure_propagates(self):
+        # The old blanket ``except Exception: pass`` hid programming
+        # errors; only the documented OS-level set may be swallowed.
+        shared = SharedArray(shape=(2,), dtype=np.float64)
+        real_close = shared._shm.close
+
+        def broken_close():
+            raise RuntimeError("a bug, not a teardown race")
+
+        shared._shm.close = broken_close
+        with pytest.raises(RuntimeError, match="a bug"):
+            shared.close()
+        shared._shm.close = real_close
+        shared.unlink()
+
+    def test_silent_without_tracer(self):
+        # With the ambient NullTracer the swallowed failure stays silent
+        # (no event machinery runs) but teardown still completes.
+        shared = SharedArray(shape=(2,), dtype=np.float64)
+        shared.unlink()
+        shared.unlink()  # no tracer, no raise
+
+
 class TestContext:
     def test_serial_request_yields_none(self):
         assert SearchWorkerContext.create(1) is None

@@ -42,6 +42,26 @@ class TestCandidates:
             assert set(tx) <= parallel
             assert set(ordered) <= parallel
 
+    def test_output_order_fallback_skips_reductions(self):
+        # A rank-1 input reachable only through the output-order fallback
+        # (fewer than four candidates from the input passes) must not let
+        # a reduction index into the thread/block candidate list.  This
+        # is the regression test for the unfiltered fallback: every
+        # output index used to be appended, parallel or not — impossible
+        # through TCROperation (output indices are parallel by
+        # construction), but the filter keeps the invariant local, and
+        # the resulting space must stay buildable end to end.
+        op = TCROperation.parse("o:(j,i) += a:(i,z)*b:(z,j)")
+        dims = {"i": 4, "j": 4, "z": 4}
+        tx, ordered = thread_block_candidates(op, dims)
+        parallel = set(op.parallel_indices)
+        assert set(tx) <= parallel
+        assert set(ordered) <= parallel
+        assert "z" not in ordered
+        space = decide_kernel_space(op, dims)
+        for config in space:
+            assert "z" not in (config.tx, config.ty, config.bx, config.by)
+
 
 class TestKernelSpace:
     def test_distinctness_enforced(self, two_op_program):

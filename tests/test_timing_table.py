@@ -140,6 +140,95 @@ class TestKernelTableParity:
             assert buildable == bool(table.valid[i])
 
 
+def _ttgt_program(dims: dict[str, int]) -> TCRProgram:
+    """A batched contraction whose A operand forces a transpose kernel."""
+    return TCRProgram(
+        name="ttgtprog",
+        dims=dims,
+        arrays={
+            "A": ("i", "b", "k"),
+            "B": ("b", "k", "j"),
+            "C": ("b", "i", "j"),
+        },
+        operations=[
+            TCROperation(
+                TensorRef("C", ("b", "i", "j")),
+                (TensorRef("A", ("i", "b", "k")), TensorRef("B", ("b", "k", "j"))),
+            )
+        ],
+    )
+
+
+class TestTTGTTableParity:
+    """TTGT table entries are bitwise equal to ``ttgt_kernel_timing``."""
+
+    @pytest.mark.parametrize("arch", [GTX980, K20, C2050], ids=lambda a: a.name)
+    def test_bitwise_equal_across_spaces(self, arch):
+        programs = [
+            _ttgt_program({"b": 4, "i": 4, "j": 4, "k": 4}),
+            _ttgt_program({"b": 3, "i": 16, "j": 8, "k": 24}),
+        ]
+        model = GPUPerformanceModel(arch)
+        for program in programs:
+            space = decide_search_space(program, backend="ttgt")
+            for op, ks in zip(program.operations, space.kernel_spaces):
+                table = KernelTimingTable.build_ttgt(
+                    model, op, tuple(ks), program.dims
+                )
+                assert bool(table.valid.all())
+                for i, cfg in enumerate(ks):
+                    ref = model.ttgt_kernel_timing(op, cfg, program.dims)
+                    assert table.totals[i] == ref.total_s
+                    assert table.compute_s[i] == ref.compute_s
+                    assert table.memory_s[i] == ref.memory_s
+
+    def test_program_table_lookup_matches_program_timing(self):
+        program = _ttgt_program({"b": 4, "i": 4, "j": 4, "k": 4})
+        model = GPUPerformanceModel(GTX980)
+        space = decide_search_space(program, backend="ttgt")
+        table = ProgramTimingTable.build(model, program, space)
+        for g in range(space.size()):
+            cfg = space.config_at(g)
+            ids = table.lookup(cfg)
+            timing = model.program_timing(program, cfg)
+            assert table.total_seconds(ids) == timing.total_s
+            assert (
+                table.total_seconds(ids, include_transfer=False)
+                == timing.kernel_s
+            )
+
+    def test_evaluator_fast_path_bitwise(self):
+        program = _ttgt_program({"b": 4, "i": 4, "j": 4, "k": 4})
+        model = GPUPerformanceModel(K20)
+        space = decide_search_space(program, backend="ttgt")
+        tuning = TuningSpace([space])
+        table = ProgramTimingTable.build(model, program, space)
+        scalar = ConfigurationEvaluator([program], model, noisy=False)
+        fast = ConfigurationEvaluator(
+            [program], model, noisy=False, tables=[table]
+        )
+        for cfg in tuning.enumerate_all():
+            a = scalar.evaluate_one(cfg)
+            b = fast.evaluate_one(cfg)
+            assert a.value == b.value
+            assert a.wall == b.wall
+
+    def test_auto_program_total_is_min_of_fixed_backends(self):
+        """Under the separable sweep, auto == min(loopnest, ttgt) exactly."""
+        model = GPUPerformanceModel(GTX980)
+        for dims in ({"b": 4, "i": 4, "j": 4, "k": 4},
+                     {"b": 48, "i": 48, "j": 48, "k": 48}):
+            program = _ttgt_program(dims)
+            best = {}
+            for backend in ("loopnest", "ttgt", "auto"):
+                space = decide_search_space(
+                    program, backend=backend, model=model
+                )
+                table = ProgramTimingTable.build(model, program, space)
+                best[backend] = sum(k.totals.min() for k in table.kernels)
+            assert best["auto"] == min(best["loopnest"], best["ttgt"])
+
+
 class TestProgramTableParity:
     def test_lookup_matches_program_timing(self, two_op_program):
         model = GPUPerformanceModel(GTX980)
